@@ -1,0 +1,22 @@
+"""EXP-1 (Theorems 6.27/6.28): A_nuc and the (Omega, Sigma^nu) stack solve
+nonuniform consensus in any environment.
+
+Regenerates the EXP-1 table of EXPERIMENTS.md (decided counts, agreement
+verdicts, cost profile) and reports the wall-clock cost of the sweep.
+"""
+
+from conftest import publish
+
+from repro.harness.experiments import exp1_nuc_sufficiency
+
+
+def test_exp1_nuc_sufficiency(benchmark):
+    table = benchmark.pedantic(
+        lambda: exp1_nuc_sufficiency(ns=(2, 3, 4, 5), seeds=(0, 1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    publish(table)
+    for row in table.rows:
+        assert row[4] == "yes", row  # agreement_ok
+        assert row[2] == row[3], row  # every run decided

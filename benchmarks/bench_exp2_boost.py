@@ -1,0 +1,17 @@
+"""EXP-2 (Theorem 6.7): the booster's emitted histories satisfy Sigma^nu+
+across environments and faulty-quorum styles."""
+
+from conftest import publish
+
+from repro.harness.experiments import exp2_boosting
+
+
+def test_exp2_boosting(benchmark):
+    table = benchmark.pedantic(
+        lambda: exp2_boosting(ns=(2, 3, 4, 5), seeds=(0, 1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    publish(table)
+    for row in table.rows:
+        assert row[3] == "yes", row  # all_valid

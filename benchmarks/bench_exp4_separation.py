@@ -1,0 +1,23 @@
+"""EXP-4 (Theorem 7.1): the separation table over E_t environments."""
+
+from conftest import publish
+
+from repro.harness.experiments import exp4_separation
+
+
+def test_exp4_separation(benchmark):
+    table = benchmark.pedantic(
+        lambda: exp4_separation(
+            cases=((2, 1), (4, 2), (5, 3), (6, 3), (3, 1), (5, 2)),
+            seeds=(0, 1),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish(table)
+    for row in table.rows:
+        majority = row[2] == "yes"
+        if majority:
+            assert row[3] == "yes", row  # from-scratch Sigma valid
+        else:
+            assert "VIOLATED" in row[4], row  # adversary wins

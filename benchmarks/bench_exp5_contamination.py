@@ -1,0 +1,21 @@
+"""EXP-5 (Section 6.3): the contamination scenario, naive vs A_nuc."""
+
+from conftest import publish
+
+from repro.harness.experiments import exp5_contamination
+
+
+def test_exp5_contamination(benchmark):
+    table = benchmark.pedantic(
+        lambda: exp5_contamination(seeds=(0, 1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    publish(table)
+    for row in table.rows:
+        algorithm, violated, history_valid = row[0], row[3], row[4]
+        assert history_valid == "yes", row
+        if algorithm == "naive":
+            assert violated == "yes", row
+        else:
+            assert violated == "no", row

@@ -1,0 +1,16 @@
+"""EXP-6 (Lemma 2.2): merging mergeable runs preserves validity & states."""
+
+from conftest import publish
+
+from repro.harness.experiments import exp6_merging
+
+
+def test_exp6_merging(benchmark):
+    table = benchmark.pedantic(
+        lambda: exp6_merging(seeds=range(8), n=5),
+        rounds=1,
+        iterations=1,
+    )
+    publish(table)
+    for row in table.rows:
+        assert row[3] == "yes" and row[4] == "yes", row

@@ -1,0 +1,16 @@
+"""EXP-7: cost scaling of A_nuc vs the MR baselines with n."""
+
+from conftest import publish
+
+from repro.harness.experiments import exp7_scaling
+
+
+def test_exp7_scaling(benchmark):
+    table = benchmark.pedantic(
+        lambda: exp7_scaling(ns=(2, 3, 4, 5), seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    publish(table)
+    for row in table.rows:
+        assert row[5] == "1.00", row  # every run decided

@@ -1,0 +1,17 @@
+"""EXP-8: exhaustive crash-set coverage of A_nuc at n=3."""
+
+from conftest import publish
+
+from repro.harness.experiments import exp8_exhaustive
+
+
+def test_exp8_exhaustive(benchmark):
+    table = benchmark.pedantic(
+        lambda: exp8_exhaustive(n=3, crash_times=(0, 25), seeds=(0,)),
+        rounds=1,
+        iterations=1,
+    )
+    publish(table)
+    for row in table.rows:
+        assert row[4] == "yes", row
+        assert row[2] == row[3], row

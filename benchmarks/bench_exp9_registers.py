@@ -1,0 +1,20 @@
+"""EXP-9: the register gap between Sigma and Sigma^nu."""
+
+from conftest import publish
+
+from repro.harness.experiments import exp9_registers
+
+
+def test_exp9_registers(benchmark):
+    table = benchmark.pedantic(
+        lambda: exp9_registers(seeds=(0, 1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    publish(table)
+    for row in table.rows:
+        arm, atomic = row[0], row[3]
+        if arm.startswith("Sigma /") or arm.startswith("Sigma control"):
+            assert atomic == "yes", row
+        else:
+            assert atomic == "no", row  # the anomaly must manifest

@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the substrate: step throughput and DAG operations.
+
+Not a paper experiment — these keep the simulator's performance honest so
+the theorem-level sweeps stay cheap to run and extend.
+"""
+
+import random
+
+from repro.consensus.quorum_mr import QuorumMR
+from repro.core.dag import DagCore, SampleDAG, greedy_chain
+from repro.detectors import Omega, PairedDetector, Sigma
+from repro.kernel.automaton import AutomatonProcess
+from repro.kernel.failures import FailurePattern
+from repro.kernel.system import System
+
+
+def test_system_step_throughput(benchmark):
+    """Steps/second of the live kernel running quorum-MR on 5 processes."""
+    pattern = FailurePattern(5, {})
+    detector = PairedDetector(Omega(), Sigma("pivot"))
+    history = detector.sample_history(pattern, random.Random(0))
+
+    def run_steps():
+        processes = {p: AutomatonProcess(QuorumMR(), p % 2) for p in range(5)}
+        system = System(processes, pattern, history, seed=0)
+        system.run(max_steps=300)
+        return system.time
+
+    steps = benchmark(run_steps)
+    assert steps == 300
+
+
+def test_dag_growth(benchmark):
+    """Cost of building a 600-sample DAG with periodic unions."""
+
+    def build():
+        cores = [DagCore(p, 4) for p in range(4)]
+        rng = random.Random(1)
+        for t in range(600):
+            p = t % 4
+            if rng.random() < 0.5:
+                cores[p].absorb(cores[rng.randrange(4)].dag)
+            cores[p].sample(frozenset({p}), t)
+        return len(cores[0].dag)
+
+    size = benchmark(build)
+    assert size > 100
+
+
+def test_descendants_query(benchmark):
+    cores = [DagCore(p, 3) for p in range(3)]
+    for t in range(400):
+        p = t % 3
+        cores[p].absorb(cores[(p + 1) % 3].dag)
+        cores[p].sample(frozenset({p}), t)
+    dag = cores[0].dag
+    root = dag.get((0, 5))
+
+    result = benchmark(lambda: len(dag.descendants(root)))
+    assert result > 0
+
+
+def test_greedy_chain(benchmark):
+    cores = [DagCore(p, 3) for p in range(3)]
+    for t in range(400):
+        p = t % 3
+        cores[p].absorb(cores[(p + 1) % 3].dag)
+        cores[p].sample(frozenset({p}), t)
+    nodes = cores[0].dag.nodes()
+
+    chain = benchmark(lambda: greedy_chain(nodes))
+    assert len(chain) > 50

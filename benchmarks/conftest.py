@@ -1,0 +1,16 @@
+"""Shared benchmark plumbing: table capture into benchmarks/results/."""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def publish(table) -> None:
+    """Print an experiment table and persist it under benchmarks/results/."""
+    text = table.render()
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    slug = table.title.split(":")[0].strip().lower().replace(" ", "_")
+    path = os.path.join(RESULTS_DIR, f"{slug}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""State-machine replication on the weakest detector for the job.
+
+Builds a 4-replica replicated log in a *minority-correct* system (3 of 4
+replicas eventually crash): each slot is an A_nuc consensus instance over
+(Omega, Sigma^nu+).  Correct replicas end with identical logs and identical
+applied state — the downstream payoff of the paper's result, in the failure
+regime classical majority-based replication cannot survive.
+
+Run:  python examples/replicated_log.py
+"""
+
+from repro.kernel import FailurePattern
+from repro.smr import check_smr, run_replicated_log
+
+
+def main() -> None:
+    pattern = FailurePattern(4, {0: 60, 1: 90, 2: 120})  # only 3 survives!
+    commands = {p: [("append", p, i) for i in range(2)] for p in range(4)}
+
+    result, replicas = run_replicated_log(
+        pattern, commands, slots=4, seed=7, max_steps=200000
+    )
+    print(f"pattern : {pattern}")
+    print(f"stopped : {result.stop_reason} after {result.step_count} steps")
+    for p in range(4):
+        status = "correct" if p in pattern.correct else "faulty "
+        print(f"  replica {p} ({status}): log = {replicas[p].log}")
+
+    report = check_smr(pattern, replicas, commands)
+    print(f"verdict : {report}")
+
+    survivor = max(pattern.correct)
+    state = [e for e in replicas[survivor].log if e and e[0] != "noop"]
+    print(f"state machine at the survivor: {state}")
+    if not report.ok:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Theorem 7.1: (Omega, Sigma^nu) vs (Omega, Sigma), both directions.
+
+* t < n/2 — Sigma is implementable *from scratch* (no failure detector):
+  quorums of n - t processes are majorities, so they intersect; the run's
+  emitted history is validated by the independent Sigma checker.
+
+* t >= n/2 — no algorithm can transform (Omega, Sigma^nu) into Sigma: the
+  two-run partition adversary plays the candidate transformation against
+  itself and exhibits two disjoint quorums in a single run.
+
+Run:  python examples/separation_demo.py
+"""
+
+import random
+
+from repro import FailurePattern, FromScratchSigma, run_partition_adversary
+from repro.harness.runner import run_from_scratch_sigma
+
+
+def if_direction() -> bool:
+    print("=== IF direction: t < n/2, Sigma from scratch ===")
+    ok = True
+    for n, t in [(3, 1), (5, 2), (7, 3)]:
+        rng = random.Random(n * 100 + t)
+        crashed = rng.sample(range(n), t)
+        pattern = FailurePattern(n, {p: rng.randint(0, 25) for p in crashed})
+        outcome = run_from_scratch_sigma(n, t, pattern, seed=0)
+        sample = [sorted(q) for _, q in outcome.result.outputs[min(pattern.correct)][-2:]]
+        print(f"  n={n} t={t} {pattern}: Sigma check -> {outcome.check} "
+              f"(final quorums {sample})")
+        ok &= bool(outcome.check)
+    return ok
+
+
+def only_if_direction() -> bool:
+    print("=== ONLY IF direction: t >= n/2, the partition adversary ===")
+    ok = True
+    for n, t in [(2, 1), (4, 2), (6, 3)]:
+        verdict = run_partition_adversary(
+            lambda pid, n=n, t=t: FromScratchSigma(n, t), n, t, seed=5
+        )
+        print(f"  n={n} t={t}: {verdict.reason}")
+        if verdict.violated:
+            print(f"    A-side quorum {sorted(verdict.a_quorum)} at process "
+                  f"{verdict.a_process} (time {verdict.tau}); B-side quorum "
+                  f"{sorted(verdict.b_quorum)} at process {verdict.b_process}")
+        ok &= verdict.violated
+    return ok
+
+
+def main() -> None:
+    ok = if_direction()
+    print()
+    ok &= only_if_direction()
+    if not ok:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Metrics, aggregation, tables, transcripts and bounded model checking."""
+
+from repro.analysis.metrics import RunMetrics, collect_metrics
+from repro.analysis.modelcheck import (
+    ExplorationReport,
+    agreement_invariant,
+    conjoin,
+    explore,
+    validity_invariant,
+)
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.tables import Table
+from repro.analysis.trace import decision_summary, transcript
+
+__all__ = [
+    "ExplorationReport",
+    "RunMetrics",
+    "Summary",
+    "Table",
+    "agreement_invariant",
+    "collect_metrics",
+    "conjoin",
+    "decision_summary",
+    "explore",
+    "summarize",
+    "transcript",
+    "validity_invariant",
+]

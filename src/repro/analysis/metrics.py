@@ -1,0 +1,76 @@
+"""Per-run metrics extracted from live run results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.kernel.system import RunResult
+
+
+@dataclass
+class RunMetrics:
+    """Cost and progress figures of one live run."""
+
+    steps: int
+    messages_sent: int
+    messages_delivered: int
+    decided_correct: int
+    correct_count: int
+    first_decision_time: Optional[int]
+    last_decision_time: Optional[int]
+    outputs_emitted: int
+
+    @property
+    def all_correct_decided(self) -> bool:
+        return self.decided_correct == self.correct_count
+
+    @property
+    def messages_per_step(self) -> float:
+        return self.messages_sent / self.steps if self.steps else 0.0
+
+
+def collect_metrics(result: RunResult) -> RunMetrics:
+    correct = result.pattern.correct
+    decided = [p for p in result.decisions if p in correct]
+    times = [
+        t for p, t in result.decision_times.items() if p in correct
+    ]
+    outputs = sum(max(0, len(v) - 1) for v in result.outputs.values())
+    return RunMetrics(
+        steps=result.step_count,
+        messages_sent=result.messages_sent,
+        messages_delivered=result.messages_delivered,
+        decided_correct=len(decided),
+        correct_count=len(correct),
+        first_decision_time=min(times) if times else None,
+        last_decision_time=max(times) if times else None,
+        outputs_emitted=outputs,
+    )
+
+
+def message_breakdown(result: RunResult) -> Dict[str, int]:
+    """Messages sent per tag (LEAD/REP/PROP/SAW/ACK/..., DAGs as 'DAG').
+
+    Channel-wrapped payloads (the stack's ('B', ...) / ('C', ...)) are
+    unwrapped first; untagged payloads count as 'other'.
+    """
+    counts: Dict[str, int] = {}
+    for record in result.steps:
+        for message in record.sends:
+            payload = message.payload
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and isinstance(payload[0], str)
+                and len(payload[0]) == 1
+            ):
+                payload = payload[1]
+            if hasattr(payload, "frontier") and hasattr(payload, "add_local_sample"):
+                tag = "DAG"
+            elif isinstance(payload, tuple) and payload and isinstance(payload[0], str):
+                tag = payload[0]
+            else:
+                tag = "other"
+            counts[tag] = counts.get(tag, 0) + 1
+    return counts

@@ -1,0 +1,50 @@
+"""Small numeric aggregation helpers for experiment sweeps."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+
+@dataclass
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __repr__(self) -> str:
+        return (
+            f"Summary(n={self.count}, mean={self.mean:.2f}, std={self.std:.2f}, "
+            f"min={self.minimum:.2f}, med={self.median:.2f}, "
+            f"max={self.maximum:.2f})"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    data: List[float] = sorted(float(v) for v in values)
+    if not data:
+        return Summary(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+    n = len(data)
+    mean = sum(data) / n
+    var = sum((v - mean) ** 2 for v in data) / n
+    mid = n // 2
+    median = data[mid] if n % 2 else (data[mid - 1] + data[mid]) / 2
+    return Summary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=data[0],
+        median=median,
+        maximum=data[-1],
+    )
+
+
+def rate(successes: int, total: int) -> float:
+    """A success rate in [0, 1] (NaN when total is zero)."""
+    return successes / total if total else math.nan

@@ -1,0 +1,302 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``consensus``      run A_nuc (or the full (Ω, Σν) stack) on a configurable
+                   system and print decisions, verdicts and optionally a
+                   step transcript
+``experiment``     run one of the EXP-1..EXP-9 sweeps and print its table
+``contamination``  play the Section 6.3 scenario against naive / A_nuc
+``adversary``      run the Theorem 7.1 partition adversary for (n, t)
+``extract``        run the necessity transformation T_{D -> Σν} and report
+                   the emitted quorums and checker verdicts
+``reproduce``      run all nine experiments and print one combined report
+
+Every command is a thin veneer over the public library API; the CLI exists
+so the reproduction can be poked without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.trace import decision_summary, transcript
+from repro.kernel.failures import FailurePattern
+
+
+def _parse_crashes(items: Sequence[str]) -> Dict[int, int]:
+    crashes: Dict[int, int] = {}
+    for item in items:
+        try:
+            pid_text, time_text = item.split(":", 1)
+            crashes[int(pid_text)] = int(time_text)
+        except ValueError as exc:
+            raise SystemExit(
+                f"bad --crash {item!r}: expected '<pid>:<time>'"
+            ) from exc
+    return crashes
+
+
+def _pattern_from_args(args) -> FailurePattern:
+    return FailurePattern(args.n, _parse_crashes(args.crash))
+
+
+def cmd_consensus(args) -> int:
+    from repro.consensus import check_nonuniform_consensus, consensus_outcome
+    from repro.harness.runner import run_nuc, run_stack
+
+    pattern = _pattern_from_args(args)
+    rng = random.Random(args.seed)
+    proposals = {p: rng.choice(args.values) for p in range(args.n)}
+    if args.algorithm == "stack":
+        outcome = run_stack(pattern, proposals, seed=args.seed)
+    else:
+        outcome = run_nuc(pattern, proposals, seed=args.seed)
+    print(f"pattern   : {pattern}")
+    print(f"proposals : {proposals}")
+    print(decision_summary(outcome.result))
+    print(f"verdict   : {outcome.nonuniform}")
+    if args.algorithm == "stack":
+        print(f"emulated Sigma^nu+ : {outcome.boosted_check}")
+    if args.transcript:
+        print("\n--- transcript (first steps) ---")
+        print(transcript(outcome.result, limit=args.transcript))
+    return 0 if outcome.nonuniform.ok else 1
+
+
+def cmd_experiment(args) -> int:
+    from repro.harness import experiments
+
+    runners = {
+        "exp1": experiments.exp1_nuc_sufficiency,
+        "exp2": experiments.exp2_boosting,
+        "exp3": experiments.exp3_extraction,
+        "exp4": experiments.exp4_separation,
+        "exp5": experiments.exp5_contamination,
+        "exp6": experiments.exp6_merging,
+        "exp7": experiments.exp7_scaling,
+        "exp8": experiments.exp8_exhaustive,
+        "exp9": experiments.exp9_registers,
+    }
+    quick_overrides = {
+        "exp1": dict(ns=(2, 3), seeds=(0,)),
+        "exp2": dict(ns=(2, 3), seeds=(0,)),
+        "exp3": dict(ns=(3,), seeds=(0,)),
+        "exp4": dict(cases=((2, 1), (4, 2), (3, 1)), seeds=(0,)),
+        "exp5": dict(seeds=(0,)),
+        "exp6": dict(seeds=range(3)),
+        "exp7": dict(ns=(2, 3), seeds=(0,)),
+        "exp8": dict(n=3, crash_times=(0,), seeds=(0,)),
+        "exp9": dict(seeds=(0,)),
+    }
+    runner = runners[args.name]
+    kwargs = quick_overrides[args.name] if args.quick else {}
+    table = runner(**kwargs)
+    print(table.render())
+    return 0
+
+
+def cmd_contamination(args) -> int:
+    from repro.separation.contamination import run_contamination_scenario
+
+    report = run_contamination_scenario(args.algorithm, seed=args.seed)
+    print(f"algorithm  : {report.algorithm}")
+    print(f"decisions  : {report.decisions}")
+    print(f"agreement  : {report.agreement}")
+    print(f"crash of 2 : t={report.crash_time}")
+    print(
+        f"history ok : omega={bool(report.omega_check)} "
+        f"sigma={bool(report.sigma_check)}"
+    )
+    if report.distrust_events:
+        print(f"distrusts  : {len(report.distrust_events)} events")
+    expected = (args.algorithm == "naive") == report.contaminated
+    print(
+        "outcome    : "
+        + ("CONTAMINATED" if report.contaminated else "safe")
+        + (" (as the paper predicts)" if expected else " (UNEXPECTED)")
+    )
+    return 0 if expected else 1
+
+
+def cmd_adversary(args) -> int:
+    from repro.separation.adversary import run_partition_adversary
+    from repro.separation.from_scratch_sigma import FromScratchSigma
+
+    n, t = args.n, args.t
+    verdict = run_partition_adversary(
+        lambda pid: FromScratchSigma(n, t), n, t, seed=args.seed
+    )
+    print(verdict)
+    if verdict.a_quorum is not None and verdict.b_quorum is not None:
+        print(
+            f"  A' = {sorted(verdict.a_quorum)} at p{verdict.a_process} "
+            f"(tau={verdict.tau}); B' = {sorted(verdict.b_quorum)} "
+            f"at p{verdict.b_process}"
+        )
+    expected = verdict.violated == (t >= n / 2)
+    return 0 if expected else 1
+
+
+def cmd_extract(args) -> int:
+    from repro.consensus import QuorumMR
+    from repro.detectors import Omega, PairedDetector, Sigma
+    from repro.harness.runner import run_extraction
+
+    pattern = _pattern_from_args(args)
+    detector = PairedDetector(Omega(), Sigma("pivot"))
+    outcome = run_extraction(QuorumMR(), detector, pattern, seed=args.seed)
+    print(f"pattern : {pattern}")
+    for p in range(args.n):
+        quorums = [sorted(q) for _, q in outcome.result.outputs[p]]
+        print(f"  p{p}: {quorums[:8]}" + (" ..." if len(quorums) > 8 else ""))
+    print(f"Sigma^nu (Thm 5.4): {outcome.sigma_nu_check}")
+    print(f"Sigma    (Thm 5.8): {outcome.sigma_check}")
+    return 0 if outcome.sigma_nu_check.ok else 1
+
+
+def cmd_reproduce(args) -> int:
+    from repro.harness import experiments
+
+    plan = [
+        ("EXP-1 (Thms 6.27/6.28)", experiments.exp1_nuc_sufficiency,
+         dict(ns=(2, 3, 4), seeds=(0, 1)) if args.quick else {}),
+        ("EXP-2 (Thm 6.7)", experiments.exp2_boosting,
+         dict(ns=(2, 3, 4), seeds=(0, 1)) if args.quick else {}),
+        ("EXP-3 (Thms 5.4/5.8)", experiments.exp3_extraction,
+         dict(ns=(3,), seeds=(0, 1)) if args.quick else {}),
+        ("EXP-4 (Thm 7.1)", experiments.exp4_separation,
+         dict(seeds=(0,)) if args.quick else {}),
+        ("EXP-5 (Section 6.3)", experiments.exp5_contamination,
+         dict(seeds=(0, 1)) if args.quick else {}),
+        ("EXP-6 (Lemma 2.2)", experiments.exp6_merging,
+         dict(seeds=range(5)) if args.quick else {}),
+        ("EXP-7 (cost profile)", experiments.exp7_scaling,
+         dict(ns=(2, 3, 4), seeds=(0,)) if args.quick else {}),
+        ("EXP-8 (exhaustive small n)", experiments.exp8_exhaustive,
+         dict(n=3, crash_times=(0, 25), seeds=(0,)) if args.quick else {}),
+        ("EXP-9 (register gap)", experiments.exp9_registers,
+         dict(seeds=(0, 1)) if args.quick else {}),
+    ]
+    sections = []
+    for label, runner, kwargs in plan:
+        print(f"running {label} ...", flush=True)
+        table = runner(**kwargs)
+        sections.append(table.render())
+    report = (
+        "REPRODUCTION REPORT\n"
+        "The weakest failure detector to solve nonuniform consensus\n"
+        "(Eisler, Hadzilacos, Toueg; PODC 2005)\n"
+        + "=" * 70 + "\n\n"
+        + "\n\n".join(sections)
+        + "\n"
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report)
+    print()
+    print(report)
+    if args.output:
+        print(f"(written to {args.output})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Executable reproduction of 'The weakest failure detector to "
+            "solve nonuniform consensus' (Eisler, Hadzilacos, Toueg)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    consensus = sub.add_parser(
+        "consensus", help="run A_nuc or the full (Omega, Sigma^nu) stack"
+    )
+    consensus.add_argument("--n", type=int, default=4)
+    consensus.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="PID:TIME",
+        help="crash a process at a time (repeatable)",
+    )
+    consensus.add_argument("--seed", type=int, default=0)
+    consensus.add_argument(
+        "--algorithm", choices=["anuc", "stack"], default="anuc"
+    )
+    consensus.add_argument(
+        "--values", nargs="+", default=["red", "blue"], help="proposal pool"
+    )
+    consensus.add_argument(
+        "--transcript",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the first N transcript lines",
+    )
+    consensus.set_defaults(func=cmd_consensus)
+
+    experiment = sub.add_parser("experiment", help="run an EXP-1..EXP-9 sweep")
+    experiment.add_argument(
+        "name", choices=[f"exp{i}" for i in range(1, 10)]
+    )
+    experiment.add_argument(
+        "--quick", action="store_true", help="small parameterization"
+    )
+    experiment.set_defaults(func=cmd_experiment)
+
+    contamination = sub.add_parser(
+        "contamination", help="the Section 6.3 scenario"
+    )
+    contamination.add_argument(
+        "algorithm", choices=["naive", "anuc"], nargs="?", default="naive"
+    )
+    contamination.add_argument("--seed", type=int, default=0)
+    contamination.set_defaults(func=cmd_contamination)
+
+    adversary = sub.add_parser(
+        "adversary", help="the Theorem 7.1 partition adversary"
+    )
+    adversary.add_argument("--n", type=int, default=4)
+    adversary.add_argument("--t", type=int, default=2)
+    adversary.add_argument("--seed", type=int, default=0)
+    adversary.set_defaults(func=cmd_adversary)
+
+    extract = sub.add_parser(
+        "extract", help="run T_{D -> Sigma^nu} over (Omega, Sigma)/quorum-MR"
+    )
+    extract.add_argument("--n", type=int, default=3)
+    extract.add_argument(
+        "--crash", action="append", default=[], metavar="PID:TIME"
+    )
+    extract.add_argument("--seed", type=int, default=0)
+    extract.set_defaults(func=cmd_extract)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="run all nine experiments; print one report"
+    )
+    reproduce.add_argument(
+        "--quick", action="store_true", help="small parameterization"
+    )
+    reproduce.add_argument(
+        "--output", default=None, metavar="FILE", help="also write the report"
+    )
+    reproduce.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Consensus algorithms and property verifiers.
+
+The paper's Section 6.3 builds on the Mostéfaoui-Raynal leader-based
+algorithm; this package implements it (majority version, Omega only), its
+quorum generalization with Sigma (which solves *uniform* consensus in any
+environment — footnote 5), and the *naive* Sigma^nu variant whose
+contamination failure motivates all of A_nuc's extra machinery.
+
+All three are pure automata (see :mod:`repro.kernel.automaton`), so they can
+also act as the subject algorithm ``A`` inside the necessity transformation
+``T_{D -> Sigma^nu}``.
+"""
+
+from repro.consensus.interface import (
+    ConsensusOutcome,
+    consensus_outcome,
+)
+from repro.consensus.mostefaoui_raynal import MostefaouiRaynal
+from repro.consensus.properties import (
+    PropertyReport,
+    check_nonuniform_consensus,
+    check_uniform_consensus,
+)
+from repro.consensus.quorum_mr import NaiveSigmaNuConsensus, QuorumMR
+from repro.consensus.chandra_toueg import ChandraTouegS
+from repro.consensus.flood_p import FloodSetPerfect
+
+__all__ = [
+    "ChandraTouegS",
+    "ConsensusOutcome",
+    "FloodSetPerfect",
+    "MostefaouiRaynal",
+    "NaiveSigmaNuConsensus",
+    "PropertyReport",
+    "QuorumMR",
+    "check_nonuniform_consensus",
+    "check_uniform_consensus",
+    "consensus_outcome",
+]

@@ -1,0 +1,173 @@
+"""The Chandra-Toueg rotating-coordinator consensus algorithm over <>S [2].
+
+Reference [2] of the paper introduced unreliable failure detectors and gave
+this algorithm: with the *eventually strong* detector <>S (strong
+completeness + eventual weak accuracy) and a correct majority, consensus is
+solvable.  We use <>P histories (which are a fortiori <>S) to drive it.
+
+Round ``r`` has coordinator ``c = r mod n`` and four phases:
+
+1. everyone sends its timestamped estimate to the coordinator;
+2. the coordinator collects a majority of estimates and broadcasts the one
+   with the largest timestamp;
+3. each process waits for the coordinator's round-``r`` estimate *or*
+   suspects the coordinator (detector re-read each step): adopt + positive
+   ack, or negative ack;
+4. the coordinator collects a majority of acks; if all are positive it
+   (reliably) broadcasts a DECIDE, which every receiver adopts and relays.
+
+Majority intersection across rounds gives (uniform) agreement via the
+locking of timestamps; eventual weak accuracy gives termination once a
+never-suspected correct coordinator comes around.  Like the MR family here,
+it is a *pure automaton*, so it can also act as the subject of the
+necessity construction in majority environments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.kernel.automaton import Automaton, DeliveredMessage, TransitionOutcome
+
+EST = "EST"  # (EST, r, estimate, ts) -> coordinator
+COORD = "COORD"  # (COORD, r, estimate) -> all
+ACK = "ACK"  # (ACK, r, positive: bool) -> coordinator
+DECIDE = "DECIDE"  # (DECIDE, value) -> all, relayed once
+
+
+@dataclass
+class _CTState:
+    pid: int
+    n: int
+    estimate: Any
+    ts: int = 0
+    round: int = 1
+    phase: str = "send-est"
+    decided: Optional[Any] = None
+    relayed_decide: bool = False
+    # (tag, round) -> {sender: payload-tail}
+    msgs: Dict[Tuple[str, int], Dict[int, Any]] = field(default_factory=dict)
+
+    def record(self, sender: int, tag: str, rnd: int, rest: Any) -> None:
+        self.msgs.setdefault((tag, rnd), {})[sender] = rest
+
+    def received(self, tag: str, rnd: int) -> Dict[int, Any]:
+        return self.msgs.get((tag, rnd), {})
+
+
+class ChandraTouegS(Automaton):
+    """CT consensus over <>S; detector value = current suspect set."""
+
+    name = "chandra-toueg-<>S"
+
+    def initial_state(self, pid: int, n: int, proposal: Any) -> _CTState:
+        return _CTState(pid=pid, n=n, estimate=proposal)
+
+    def decision(self, state: _CTState) -> Optional[Any]:
+        return state.decided
+
+    def snapshot(self, state: _CTState) -> Any:
+        msgs = tuple(
+            (key, tuple(sorted(v.items())))
+            for key, v in sorted(state.msgs.items())
+        )
+        return (
+            state.pid,
+            state.round,
+            state.phase,
+            state.estimate,
+            state.ts,
+            state.decided,
+            state.relayed_decide,
+            msgs,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _coordinator(self, state: _CTState) -> int:
+        return state.round % state.n
+
+    def _majority(self, state: _CTState) -> int:
+        return state.n // 2 + 1
+
+    def transition(self, state, pid, msg, d):
+        sends: List[Tuple[int, Any]] = []
+        suspects: FrozenSet[int] = frozenset(d) if d is not None else frozenset()
+        if msg is not None:
+            tag = msg.payload[0]
+            if tag == DECIDE:
+                if state.decided is None:
+                    state.decided = msg.payload[1]
+                if not state.relayed_decide:
+                    state.relayed_decide = True
+                    for dest in range(state.n):
+                        sends.append((dest, (DECIDE, msg.payload[1])))
+            else:
+                rnd = msg.payload[1]
+                state.record(msg.sender, tag, rnd, msg.payload[2:])
+
+        progressed = True
+        while progressed and state.decided is None:
+            progressed = self._try_advance(state, suspects, sends)
+        return TransitionOutcome(state=state, sends=sends)
+
+    def _try_advance(self, state, suspects, sends) -> bool:
+        coordinator = self._coordinator(state)
+        maj = self._majority(state)
+
+        if state.phase == "send-est":
+            sends.append(
+                (coordinator, (EST, state.round, state.estimate, state.ts))
+            )
+            state.phase = "coord-collect" if state.pid == coordinator else "wait-coord"
+            return True
+
+        if state.phase == "coord-collect":
+            estimates = state.received(EST, state.round)
+            if len(estimates) < maj:
+                return False
+            best = max(estimates.values(), key=lambda rest: rest[1])
+            state.estimate = best[0]
+            state.ts = state.round
+            for dest in range(state.n):
+                sends.append((dest, (COORD, state.round, state.estimate)))
+            state.phase = "wait-coord"
+            return True
+
+        if state.phase == "wait-coord":
+            coord_msgs = state.received(COORD, state.round)
+            if coordinator in coord_msgs:
+                (value,) = coord_msgs[coordinator]
+                state.estimate = value
+                state.ts = state.round
+                sends.append((coordinator, (ACK, state.round, True)))
+            elif coordinator in suspects:
+                sends.append((coordinator, (ACK, state.round, False)))
+            else:
+                return False
+            state.phase = (
+                "coord-acks" if state.pid == coordinator else "next-round"
+            )
+            return True
+
+        if state.phase == "coord-acks":
+            acks = state.received(ACK, state.round)
+            if len(acks) < maj:
+                return False
+            positives = sum(1 for rest in acks.values() if rest[0])
+            if positives >= maj:
+                for dest in range(state.n):
+                    sends.append((dest, (DECIDE, state.estimate)))
+                # The coordinator also receives its own DECIDE through the
+                # buffer and decides then; no short-circuit, schedules stay
+                # honest.
+            state.phase = "next-round"
+            return True
+
+        if state.phase == "next-round":
+            state.round += 1
+            state.phase = "send-est"
+            return True
+
+        raise AssertionError(f"unknown phase {state.phase!r}")

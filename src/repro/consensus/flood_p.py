@@ -1,0 +1,151 @@
+"""FloodSet consensus with a perfect failure detector (Chandra-Toueg [2]).
+
+The asynchronous flooding algorithm for detectors with strong completeness
+and (weak) accuracy, specialized here to P.  It tolerates any number of
+crashes, so it gives us a second, structurally different subject algorithm
+for the necessity experiments (Theorem 5.4 applied to D = P).
+
+Phase 1 runs ``n - 1`` asynchronous rounds.  In round ``r`` each process
+broadcasts the proposals it learned in round ``r - 1`` and waits, for every
+process ``q``, until it has ``q``'s round-``r`` message or ``q`` is suspected
+by its detector module (re-read every step).  Phase 2 exchanges the final
+vectors and intersects those received from every unsuspected process; the
+decision is the intersected vector's entry for the lowest process id.
+
+Accuracy guarantees some correct process is never suspected, which forces the
+intersected vectors to agree; completeness guarantees the waits terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.kernel.automaton import Automaton, DeliveredMessage, TransitionOutcome
+
+FLOOD = "FLOOD"
+VECTOR = "VECTOR"
+
+
+@dataclass
+class _FloodState:
+    pid: int
+    n: int
+    known: Dict[int, Any]  # proposals learned so far
+    delta: Dict[int, Any]  # proposals learned in the previous round
+    round: int = 1
+    phase: str = FLOOD
+    decided: Optional[Any] = None
+    round_sent: bool = False
+    # (tag, round) -> {sender: payload}
+    msgs: Dict[Tuple[str, int], Dict[int, Any]] = field(default_factory=dict)
+
+
+class FloodSetPerfect(Automaton):
+    """FloodSet over a perfect detector; detector value = suspect set."""
+
+    name = "floodset-P"
+
+    def initial_state(self, pid: int, n: int, proposal: Any) -> _FloodState:
+        return _FloodState(
+            pid=pid, n=n, known={pid: proposal}, delta={pid: proposal}
+        )
+
+    def decision(self, state: _FloodState) -> Optional[Any]:
+        return state.decided
+
+    def snapshot(self, state: _FloodState) -> Any:
+        msgs = tuple(
+            (key, tuple(sorted((s, _freeze(v)) for s, v in senders.items())))
+            for key, senders in sorted(state.msgs.items())
+        )
+        return (
+            state.pid,
+            state.round,
+            state.phase,
+            tuple(sorted(state.known.items())),
+            tuple(sorted(state.delta.items())),
+            state.decided,
+            state.round_sent,
+            msgs,
+        )
+
+    def transition(self, state, pid, msg, d):
+        sends: List[Tuple[int, Any]] = []
+        suspects: FrozenSet[int] = frozenset(d)
+        if msg is not None:
+            tag, rnd, payload = msg.payload
+            state.msgs.setdefault((tag, rnd), {})[msg.sender] = payload
+
+        progressed = True
+        while progressed:
+            progressed = self._try_advance(state, suspects, sends)
+        return TransitionOutcome(state=state, sends=sends)
+
+    # ------------------------------------------------------------------
+
+    def _broadcast(self, state, sends, payload):
+        for dest in range(state.n):
+            sends.append((dest, payload))
+
+    def _wait_satisfied(
+        self, state: _FloodState, suspects: FrozenSet[int], tag: str, rnd: int
+    ) -> bool:
+        received = state.msgs.get((tag, rnd), {})
+        return all(
+            q in received or q in suspects for q in range(state.n)
+        )
+
+    def _try_advance(self, state, suspects, sends) -> bool:
+        if state.phase == FLOOD:
+            if not state.round_sent:
+                payload = tuple(sorted(state.delta.items()))
+                self._broadcast(state, sends, (FLOOD, state.round, payload))
+                state.round_sent = True
+                return True
+            if not self._wait_satisfied(state, suspects, FLOOD, state.round):
+                return False
+            received = state.msgs.get((FLOOD, state.round), {})
+            new_delta: Dict[int, Any] = {}
+            for payload in received.values():
+                for owner, value in payload:
+                    if owner not in state.known:
+                        new_delta[owner] = value
+            state.known.update(new_delta)
+            state.delta = new_delta
+            if state.round < max(1, state.n - 1):
+                state.round += 1
+                state.round_sent = False
+            else:
+                state.phase = VECTOR
+                state.round_sent = False
+            return True
+
+        if state.phase == VECTOR:
+            if not state.round_sent:
+                payload = tuple(sorted(state.known.items()))
+                self._broadcast(state, sends, (VECTOR, 0, payload))
+                state.round_sent = True
+                return True
+            if not self._wait_satisfied(state, suspects, VECTOR, 0):
+                return False
+            received = state.msgs.get((VECTOR, 0), {})
+            vectors = [dict(payload) for payload in received.values()]
+            if not vectors:
+                return False
+            common = set(vectors[0].items())
+            for vector in vectors[1:]:
+                common &= set(vector.items())
+            if state.decided is None and common:
+                owner = min(owner for owner, _ in common)
+                state.decided = dict(common)[owner]
+            state.phase = "done"
+            return False
+
+        return False
+
+
+def _freeze(value: Any) -> Any:
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return value

@@ -1,0 +1,47 @@
+"""Shared consensus plumbing: outcomes extracted from runs.
+
+A consensus problem instance is a proposal per process; an outcome is what a
+finite run exhibits: who decided what, and when.  The verifiers in
+:mod:`repro.consensus.properties` judge outcomes against the problem's
+properties (Section 2.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.kernel.failures import FailurePattern
+from repro.kernel.system import RunResult
+
+
+@dataclass
+class ConsensusOutcome:
+    """Decisions observed in one run of a consensus algorithm."""
+
+    n: int
+    pattern: FailurePattern
+    proposals: Dict[int, Any]
+    decisions: Dict[int, Any]
+    decision_times: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def correct_decisions(self) -> Dict[int, Any]:
+        return {p: v for p, v in self.decisions.items() if p in self.pattern.correct}
+
+    @property
+    def all_correct_decided(self) -> bool:
+        return set(self.correct_decisions) == set(self.pattern.correct)
+
+
+def consensus_outcome(
+    result: RunResult, proposals: Mapping[int, Any]
+) -> ConsensusOutcome:
+    """Extract the consensus outcome of a live run."""
+    return ConsensusOutcome(
+        n=result.n,
+        pattern=result.pattern,
+        proposals=dict(proposals),
+        decisions=dict(result.decisions),
+        decision_times=dict(result.decision_times),
+    )

@@ -1,0 +1,97 @@
+"""Verifiers for the consensus properties (Section 2.8).
+
+Nonuniform consensus requires, of every admissible run:
+
+* Termination — every correct process decides;
+* Nonuniform agreement — no two *correct* processes decide differently;
+* Validity — every decided value was proposed.
+
+Uniform consensus strengthens agreement to all processes, correct or faulty.
+The verifiers work on :class:`~repro.consensus.interface.ConsensusOutcome`
+objects and report which property failed and why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.consensus.interface import ConsensusOutcome
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of checking one consensus variant against one run."""
+
+    variant: str
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else "FAIL: " + "; ".join(self.violations)
+        return f"PropertyReport({self.variant}: {status})"
+
+
+def _check_common(
+    outcome: ConsensusOutcome,
+    report: PropertyReport,
+    require_termination: bool,
+) -> None:
+    # Termination: every correct process decides.
+    if require_termination:
+        undecided = sorted(set(outcome.pattern.correct) - set(outcome.decisions))
+        if undecided:
+            report.ok = False
+            report.violations.append(
+                f"termination: correct processes {undecided} never decided"
+            )
+
+    # Validity: decided values were proposed.
+    proposed = set(outcome.proposals.values())
+    for p, v in outcome.decisions.items():
+        if v not in proposed:
+            report.ok = False
+            report.violations.append(
+                f"validity: process {p} decided {v!r}, which nobody proposed"
+            )
+
+
+def check_nonuniform_consensus(
+    outcome: ConsensusOutcome, require_termination: bool = True
+) -> PropertyReport:
+    """Termination + validity + *nonuniform* agreement."""
+    report = PropertyReport(variant="nonuniform", ok=True)
+    _check_common(outcome, report, require_termination)
+
+    values = {}
+    for p, v in outcome.correct_decisions.items():
+        values.setdefault(v, []).append(p)
+    if len(values) > 1:
+        report.ok = False
+        report.violations.append(
+            f"nonuniform agreement: correct processes decided differently: "
+            f"{{{', '.join(f'{v!r}: {ps}' for v, ps in values.items())}}}"
+        )
+    return report
+
+
+def check_uniform_consensus(
+    outcome: ConsensusOutcome, require_termination: bool = True
+) -> PropertyReport:
+    """Termination + validity + *uniform* agreement (all deciders agree)."""
+    report = PropertyReport(variant="uniform", ok=True)
+    _check_common(outcome, report, require_termination)
+
+    values = {}
+    for p, v in outcome.decisions.items():
+        values.setdefault(v, []).append(p)
+    if len(values) > 1:
+        report.ok = False
+        report.violations.append(
+            f"uniform agreement: processes decided differently: "
+            f"{{{', '.join(f'{v!r}: {ps}' for v, ps in values.items())}}}"
+        )
+    return report

@@ -1,0 +1,73 @@
+"""Quorum generalizations of the Mostéfaoui-Raynal algorithm (Section 6.3).
+
+Replacing MR's majorities with the quorums output by Sigma yields an
+algorithm that solves *uniform* consensus with ``(Omega, Sigma)`` in **any**
+environment (footnote 5 of the paper): any two Sigma quorums intersect, so
+properties (A) and (B) carry over verbatim.
+
+Replacing them with Sigma^nu quorums instead does *not* yield a nonuniform
+consensus algorithm: a faulty process's quorums may intersect nobody, so it
+can decide and then contaminate correct processes through Omega's
+pre-stabilization leader output.  :class:`NaiveSigmaNuConsensus` is that
+broken variant, kept as an executable counterexample (exercised by the
+Section 6.3 contamination scenario in :mod:`repro.separation.contamination`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Optional
+
+from repro.consensus.mostefaoui_raynal import (
+    UNKNOWN,
+    LeaderQuorumConsensus,
+    _RoundState,
+)
+
+
+class QuorumMR(LeaderQuorumConsensus):
+    """MR with failure-detector quorums instead of majorities.
+
+    Detector value: a pair ``(leader, quorum)`` — the outputs of Omega and of
+    the quorum detector (Sigma or Sigma^nu) at this step.  The quorum is
+    re-read at every step while waiting, exactly like the pseudocode's
+    ``repeat Q <- Sigma_p until received ... from all q in Q``.
+    """
+
+    name = "quorum-mr"
+
+    def leader_of(self, d: Any) -> int:
+        leader, _quorum = d
+        return leader
+
+    def quorum_of(self, d: Any) -> FrozenSet[int]:
+        _leader, quorum = d
+        return frozenset(quorum)
+
+    def collection_ready(
+        self, state: _RoundState, d: Any, tag: str
+    ) -> Optional[FrozenSet[int]]:
+        quorum = self.quorum_of(d)
+        received = state.received(tag, state.round)
+        if quorum and quorum <= set(received):
+            return quorum
+        return None
+
+    def _may_decide(self, state, collected, collected_values, all_proposals):
+        # Decide on unanimous non-'?' proposals from the whole quorum.
+        if not collected_values:
+            return False
+        first = collected_values[0]
+        return first != UNKNOWN and all(v == first for v in collected_values)
+
+
+class NaiveSigmaNuConsensus(QuorumMR):
+    """The *incorrect* naive variant: QuorumMR driven by ``(Omega, Sigma^nu)``.
+
+    The algorithm text is identical to :class:`QuorumMR`; what changes is the
+    detector feeding it.  Under Sigma (uniform intersection) it is safe;
+    under Sigma^nu it admits the contamination runs of Section 6.3, which
+    violate nonuniform agreement.  It exists to demonstrate *why* A_nuc needs
+    quorum histories, distrust and the seen/ack mechanism.
+    """
+
+    name = "naive-sigma-nu"

@@ -1,0 +1,317 @@
+"""DAGs of failure detector samples (Section 4.1).
+
+``A_DAG`` (Fig. 1) has every process build an ever-growing DAG whose nodes
+are *samples* ``(q, d, k)`` — process ``q`` saw detector value ``d`` at its
+``k``-th query — with an edge from every existing node to each new node.
+
+Two structural facts make a compact representation possible:
+
+* the DAG each process holds is **ancestor-closed** (nodes arrive only as
+  parts of whole DAGs, and new nodes attach below everything present), and
+* reachability is **transitive by construction**: ``u`` reaches ``v`` iff
+  ``u`` was in the builder's DAG when ``v`` was created.
+
+Hence the ancestors of ``v`` are exactly the samples ``(q, k')`` with
+``k' <= frontier_v[q]``, where ``frontier_v[q]`` is the largest ``k'`` of a
+``q``-sample present at ``v``'s creation.  Storing that length-``n`` frontier
+vector per node represents the (quadratically dense) edge relation in O(n)
+space per node:
+
+    ``u`` is an ancestor of ``v``  iff  ``u.k <= v.frontier[u.pid]``.
+
+Paths of the DAG are then chains of this partial order, and Observations
+4.1-4.4 and Lemmas 4.5-4.8 become simple order-theoretic facts which the
+test suite checks directly.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+SampleKey = Tuple[int, int]  # (pid, k)
+
+
+class Sample(NamedTuple):
+    """A failure-detector sample ``(q, d, k)`` with its ancestry frontier.
+
+    ``t`` records the global time at which the sample was taken — the
+    paper's ``tau(v)`` — so that simulated schedules can be paired with
+    their time lists (Lemma 4.9) and Observation 4.4 can be checked.
+    """
+
+    pid: int
+    k: int  # 1-based index of this sample among pid's samples
+    d: Any  # the detector value seen
+    frontier: Tuple[int, ...]  # frontier[q] = max k' of q-samples below this
+    t: int = 0  # tau(v): when the sample was taken
+
+    @property
+    def key(self) -> SampleKey:
+        return (self.pid, self.k)
+
+    @property
+    def depth(self) -> int:
+        """Number of samples strictly below this one; a topological rank."""
+        return sum(self.frontier)
+
+    def __repr__(self) -> str:
+        return f"Sample(p{self.pid}#{self.k}, d={self.d!r})"
+
+
+class SampleDAG:
+    """An immutable DAG of samples with structural sharing on update.
+
+    All mutation-like operations return a new DAG; message payloads can
+    therefore share DAG objects safely.
+    """
+
+    __slots__ = ("n", "_nodes", "_max_k")
+
+    def __init__(
+        self,
+        n: int,
+        nodes: Optional[Dict[SampleKey, Sample]] = None,
+        max_k: Optional[Tuple[int, ...]] = None,
+    ):
+        self.n = n
+        self._nodes: Dict[SampleKey, Sample] = nodes if nodes is not None else {}
+        if max_k is None:
+            counters = [0] * n
+            for pid, k in self._nodes:
+                counters[pid] = max(counters[pid], k)
+            max_k = tuple(counters)
+        self._max_k = max_k
+
+    @classmethod
+    def empty(cls, n: int) -> "SampleDAG":
+        return cls(n, {}, tuple([0] * n))
+
+    # ------------------------------------------------------------------
+    # Construction (the operations of A_DAG lines 7-10)
+    # ------------------------------------------------------------------
+
+    def add_local_sample(
+        self, pid: int, d: Any, t: int = 0
+    ) -> Tuple["SampleDAG", Sample]:
+        """Add a new sample of ``pid`` below everything present.
+
+        Returns the new DAG and the created node (A_DAG lines 8-10: the
+        frontier encodes 'edges from every other node to the new node').
+        """
+        k = self._max_k[pid] + 1
+        sample = Sample(pid=pid, k=k, d=d, frontier=self._max_k, t=t)
+        nodes = dict(self._nodes)
+        nodes[sample.key] = sample
+        max_k = tuple(
+            k if q == pid else self._max_k[q] for q in range(self.n)
+        )
+        return SampleDAG(self.n, nodes, max_k), sample
+
+    def union(self, other: "SampleDAG") -> "SampleDAG":
+        """``G_p <- G_p ∪ m`` (A_DAG line 7).
+
+        Sample keys are globally unique and deterministic, so equal keys
+        always carry equal nodes; the union is a plain dict merge.
+        """
+        if other is self or not other._nodes:
+            return self
+        if not self._nodes:
+            return other
+        nodes = dict(self._nodes)
+        nodes.update(other._nodes)
+        max_k = tuple(
+            max(self._max_k[q], other._max_k[q]) for q in range(self.n)
+        )
+        return SampleDAG(self.n, nodes, max_k)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, key: SampleKey) -> bool:
+        return key in self._nodes
+
+    def get(self, key: SampleKey) -> Optional[Sample]:
+        return self._nodes.get(key)
+
+    def nodes(self) -> List[Sample]:
+        return list(self._nodes.values())
+
+    def max_k(self, pid: int) -> int:
+        """Largest sample index of ``pid`` present (0 if none)."""
+        return self._max_k[pid]
+
+    @property
+    def frontier(self) -> Tuple[int, ...]:
+        """Per-process largest sample index present."""
+        return self._max_k
+
+    def latest_sample(self, pid: int) -> Optional[Sample]:
+        k = self._max_k[pid]
+        return self._nodes.get((pid, k)) if k else None
+
+    def samples_of(self, pid: int) -> List[Sample]:
+        return sorted(
+            (s for s in self._nodes.values() if s.pid == pid),
+            key=lambda s: s.k,
+        )
+
+    @staticmethod
+    def is_ancestor(u: Sample, v: Sample) -> bool:
+        """Whether there is an edge/path from ``u`` to ``v`` (``u != v``)."""
+        if u.key == v.key:
+            return False
+        return v.frontier[u.pid] >= u.k
+
+    @staticmethod
+    def comparable(u: Sample, v: Sample) -> bool:
+        return (
+            u.key == v.key
+            or SampleDAG.is_ancestor(u, v)
+            or SampleDAG.is_ancestor(v, u)
+        )
+
+    def descendants(self, root: Sample, include_root: bool = True) -> List[Sample]:
+        """``G | root``: the subgraph induced by the descendants of ``root``.
+
+        Following the paper's usage (Lemma 4.5 et seq.) the root itself
+        belongs to ``G | root``; pass ``include_root=False`` to drop it.
+        Returned in topological order (by depth, then pid/k for determinism).
+        """
+        found = [
+            s
+            for s in self._nodes.values()
+            if self.is_ancestor(root, s) or (include_root and s.key == root.key)
+        ]
+        found.sort(key=lambda s: (s.depth, s.pid, s.k))
+        return found
+
+    def ancestors(self, node: Sample, include_node: bool = True) -> List[Sample]:
+        found = [
+            s
+            for s in self._nodes.values()
+            if self.is_ancestor(s, node) or (include_node and s.key == node.key)
+        ]
+        found.sort(key=lambda s: (s.depth, s.pid, s.k))
+        return found
+
+    def topological(self, nodes: Optional[Iterable[Sample]] = None) -> List[Sample]:
+        """A deterministic linear extension of (a subset of) the DAG."""
+        pool = list(nodes) if nodes is not None else list(self._nodes.values())
+        pool.sort(key=lambda s: (s.depth, s.pid, s.k))
+        return pool
+
+
+def greedy_chain(nodes: Sequence[Sample]) -> List[Sample]:
+    """A maximal-ish path (chain) through ``nodes``.
+
+    Walks a topological order and keeps each node that is a descendant of the
+    last kept node.  Because every path of the DAG is a chain of the ancestry
+    order (the DAG is transitively closed), the result is a genuine DAG path.
+    Concurrent (incomparable) samples are dropped; callers that need a
+    specific process represented should wait for later samples, which are
+    descendants of everything older (Lemma 4.7's argument).
+    """
+    ordered = sorted(nodes, key=lambda s: (s.depth, s.pid, s.k))
+    chain: List[Sample] = []
+    for node in ordered:
+        if not chain or SampleDAG.is_ancestor(chain[-1], node):
+            chain.append(node)
+    return chain
+
+
+def chain_over_processes(
+    nodes: Sequence[Sample], pids: FrozenSet[int]
+) -> List[Sample]:
+    """Greedy chain through the samples of the given processes only."""
+    return greedy_chain([s for s in nodes if s.pid in pids])
+
+
+class DagCore:
+    """The loop body of A_DAG (Fig. 1 lines 5-12), shared by the
+    transformation algorithms that embed it verbatim.
+
+    Holds the current DAG, the sample counter ``k_p`` and the last own
+    sample ``v_p``; :meth:`absorb` is line 7 and :meth:`sample` lines 8-10.
+    """
+
+    def __init__(self, pid: int, n: int):
+        self.pid = pid
+        self.n = n
+        self.dag = SampleDAG.empty(n)
+        self.k = 0
+        self.last_sample: Optional[Sample] = None
+
+    def absorb(self, payload: Any) -> None:
+        """Union a received DAG into ours (ignores non-DAG payloads)."""
+        if isinstance(payload, SampleDAG):
+            self.dag = self.dag.union(payload)
+
+    def sample(self, d: Any, t: int = 0) -> Sample:
+        """Take the next local sample and attach it below everything."""
+        self.dag, sample = self.dag.add_local_sample(self.pid, d, t)
+        self.k += 1
+        self.last_sample = sample
+        return sample
+
+
+def balanced_chain(nodes: Sequence[Sample]) -> List[Sample]:
+    """A chain through ``nodes`` that serves processes as evenly as possible.
+
+    The plain greedy chain can starve a process (its samples keep landing
+    incomparable to the greedily-kept ones), which matters when the chain is
+    fed to a schedule simulation: the starved process takes too few steps to
+    decide.  This variant repeatedly extends the chain with the next
+    compatible sample of the *least-served* process, yielding near
+    round-robin interleaving whenever the underlying samples permit.
+    """
+    by_pid: Dict[int, List[Sample]] = {}
+    for node in nodes:
+        by_pid.setdefault(node.pid, []).append(node)
+    for samples in by_pid.values():
+        samples.sort(key=lambda s: s.k)
+    pointers: Dict[int, int] = {pid: 0 for pid in by_pid}
+    counts: Dict[int, int] = {pid: 0 for pid in by_pid}
+    chain: List[Sample] = []
+    last: Optional[Sample] = None
+    while True:
+        candidates: Dict[int, Sample] = {}
+        for pid, samples in by_pid.items():
+            i = pointers[pid]
+            # Frontiers are monotone in k, so samples skipped against the
+            # current chain tip can never become compatible with later
+            # (deeper) tips of the same process; advancing is safe.
+            while i < len(samples) and last is not None and not (
+                samples[i].key == last.key
+                or SampleDAG.is_ancestor(last, samples[i])
+            ):
+                i += 1
+            pointers[pid] = i
+            if i < len(samples):
+                candidates[pid] = samples[i]
+        if not candidates:
+            break
+        if last is None:
+            # Start from the globally shallowest sample.
+            pid = min(candidates, key=lambda q: (candidates[q].depth, q))
+        else:
+            pid = min(candidates, key=lambda q: (counts[q], q))
+        node = candidates[pid]
+        chain.append(node)
+        counts[pid] += 1
+        pointers[pid] += 1
+        last = node
+    return chain

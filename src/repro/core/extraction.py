@@ -1,0 +1,148 @@
+"""T_{D -> Sigma^nu} (Fig. 2): the necessity transformation.
+
+Given any algorithm ``A`` that uses detector ``D`` to solve (binary)
+nonuniform consensus, each process runs A_DAG over ``D`` and, from the fresh
+part of its DAG (descendants of the barrier ``u_p``), looks for two simulated
+schedules — one from the all-0 initial configuration, one from the all-1
+configuration — in both of which it decides.  When found, it outputs
+
+    ``participants(S_0) ∪ participants(S_1)``
+
+as its next Sigma^nu quorum and refreshes the barrier (lines 17-19).
+
+* Completeness follows from the freshness barrier: after all crashes, fresh
+  samples are all of correct processes (Lemma 5.2).
+* Nonuniform intersection follows from the merging argument (Lemma 5.3): two
+  disjoint deciding schedules from I_0 and I_1 would merge into one run of
+  ``A`` deciding 0 and 1 — and the test suite *performs* that merge with
+  Lemma 2.2 whenever it can, as a deep differential check.
+
+The same algorithm transforms any ``D`` that solves *uniform* consensus into
+full Sigma (Theorem 5.8); only the checker changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Generator, List, Mapping, Optional, Tuple
+
+from repro.core.dag import DagCore, Sample, SampleDAG
+from repro.core.simulation import PathSimulation, find_deciding_schedule
+from repro.kernel.automaton import Automaton, Process, ProcessContext
+
+
+@dataclass
+class ExtractionSearch:
+    """Tuning knobs for the deciding-schedule search.
+
+    ``search_growth`` throttles how often the (exponential-in-n) subset
+    search runs: only after the fresh subgraph gained at least that many new
+    samples since the last attempt.  Found schedules stay valid as the DAG
+    grows (``Sch`` is monotone — Lemma 4.5/4.11), so each initial
+    configuration's schedule is cached until the barrier moves.
+    """
+
+    search_growth: int = 12
+    max_path_len: int = 2000
+    minimize_participants: bool = True
+    max_subset_size: Optional[int] = None  # cap candidate quorum size
+
+
+@dataclass
+class _QuorumEvidence:
+    """Why a quorum was output: the two deciding simulations."""
+
+    quorum: FrozenSet[int]
+    sim0: PathSimulation
+    sim1: PathSimulation
+    barrier: Sample
+
+
+class SigmaNuExtractor(Process):
+    """One process of ``T_{D -> Sigma^nu}``.
+
+    Parameters
+    ----------
+    subject:
+        The consensus algorithm ``A`` (a pure automaton) that solves
+        nonuniform consensus using the ambient detector ``D``.
+    values:
+        The two proposal values of binary consensus (default ``(0, 1)``).
+    search:
+        Schedule-search tuning.
+    """
+
+    def __init__(
+        self,
+        subject: Automaton,
+        n: int,
+        values: Tuple[Any, Any] = (0, 1),
+        search: Optional[ExtractionSearch] = None,
+    ):
+        self.subject = subject
+        self.n = n
+        self.values = values
+        self.search = search if search is not None else ExtractionSearch()
+        self.evidence: List[_QuorumEvidence] = []
+        self.core: Optional[DagCore] = None
+
+    def initial_output(self) -> Any:
+        # Line 2: Sigma^nu-output_p <- Pi.
+        return frozenset(range(self.n))
+
+    def program(self, ctx: ProcessContext) -> Generator:
+        core = DagCore(ctx.pid, ctx.n)
+        self.core = core
+        search = self.search
+        proposals0 = {p: self.values[0] for p in range(ctx.n)}
+        proposals1 = {p: self.values[1] for p in range(ctx.n)}
+
+        barrier: Optional[Sample] = None
+        cached: Dict[int, Optional[PathSimulation]] = {0: None, 1: None}
+        last_search_size = -(10**9)
+
+        while True:
+            obs = yield from ctx.take_step()  # line 6
+            if obs.message is not None:  # line 8
+                core.absorb(obs.message.payload)
+            own = core.sample(obs.detector_value, obs.time)  # lines 7, 9-11
+            ctx.send_to_all(core.dag)  # line 12
+            if core.k == 1:  # line 13
+                barrier = own
+                cached = {0: None, 1: None}
+                last_search_size = -(10**9)
+            assert barrier is not None
+
+            # Throttle: the schedule search is the expensive part, so only
+            # run it after the DAG has grown enough to plausibly matter.
+            if len(core.dag) - last_search_size < search.search_growth:
+                continue
+            last_search_size = len(core.dag)
+            fresh = core.dag.descendants(barrier)  # line 14
+
+            # Lines 15-17: look for deciding schedules from I_0 and I_1.
+            for index, proposals in ((0, proposals0), (1, proposals1)):
+                if cached[index] is None:
+                    cached[index] = find_deciding_schedule(
+                        self.subject,
+                        ctx.n,
+                        proposals,
+                        fresh,
+                        target=ctx.pid,
+                        max_path_len=search.max_path_len,
+                        minimize_participants=search.minimize_participants,
+                        max_subset_size=search.max_subset_size,
+                    )
+            sim0, sim1 = cached[0], cached[1]
+            if sim0 is None or sim1 is None:
+                continue
+
+            # Lines 18-19: output the union of participants, move the barrier.
+            quorum = sim0.participants | sim1.participants
+            ctx.output(quorum)
+            self.evidence.append(
+                _QuorumEvidence(quorum=quorum, sim0=sim0, sim1=sim1, barrier=barrier)
+            )
+            barrier = own
+            cached = {0: None, 1: None}
+            last_search_size = -(10**9)

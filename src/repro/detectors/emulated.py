@@ -1,0 +1,47 @@
+"""Emulated detector histories (Section 2.9).
+
+A transformation algorithm ``T_{D -> D'}`` maintains a variable ``output_p``
+at every process; for an admissible run ``R`` the history ``O_R`` of those
+variables is what must lie in ``D'(F)``.  This module reconstructs ``O_R``
+as a :class:`~repro.detectors.base.RecordedHistory` from a live
+:class:`~repro.kernel.system.RunResult`, so that the checkers can validate
+transformation outputs exactly as they validate synthetic histories.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.detectors.base import RecordedHistory
+from repro.kernel.system import RunResult
+
+_UNSET = object()
+
+
+def recorded_output_history(
+    result: RunResult, horizon: Optional[int] = None
+) -> RecordedHistory:
+    """Rebuild ``O_R`` from the output-assignment log of a run.
+
+    ``output_p`` holds its last assigned value between assignments (and its
+    initial value before the first one); after a crash the variable simply
+    stops changing, which the step-function semantics already capture.
+    """
+    if horizon is None:
+        horizon = max(0, result.final_time - 1)
+    initial = {
+        p: v for p, v in result.initial_outputs.items() if v is not None
+    }
+    history = RecordedHistory(result.n, horizon, initial=initial)
+    for p, events in result.outputs.items():
+        # Re-assigning the initial value is also invisible in O_R.
+        last_v: Any = result.initial_outputs.get(p, _UNSET)
+        for t, v in events:
+            if v == last_v:
+                # Re-assignments of the same value are invisible in O_R.
+                continue
+            # Same-time re-assignments are recorded in order; lookups take
+            # the last record at or before t, so the later one wins.
+            history.record(p, t, v)
+            last_v = v
+    return history

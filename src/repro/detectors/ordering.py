@@ -1,0 +1,203 @@
+"""The "weaker than" preorder on failure detectors (Section 2.9).
+
+``D' ⪯_E D`` when an algorithm transforms ``D`` to ``D'`` in environment
+``E``: it runs with detector ``D`` and maintains ``output_p`` variables
+whose history ``O_R`` must lie in ``D'(F)`` for every admissible run.
+
+This module gives the preorder executable form:
+
+* :class:`Transformation` — a named factory of transformation processes
+  with a declared output checker, runnable by :func:`demonstrate`;
+* trivial constructions the paper uses implicitly: the **identity**
+  (any Σ history *is* a Σν history — Σν ⪯ Σ), **projection** (each
+  component of a product is weaker than the product — Ω ⪯ (Ω, Σν)),
+  and **pairing** (transformations compose componentwise);
+* the paper's substantial transformations, wrapped:
+  Σν+ ⪯ Σν (Fig. 3) and Σν ⪯ D for consensus-capable D (Fig. 2).
+
+:func:`demonstrate` runs a transformation over sampled histories and checks
+the emitted history with the target detector's checker — a *witness* for
+one ⪯ fact (sound per run; the universal claim is the theorem's job).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.detectors.base import FailureDetector
+from repro.detectors.checkers import CheckResult
+from repro.detectors.emulated import recorded_output_history
+from repro.kernel.automaton import Process, ProcessContext
+from repro.kernel.failures import FailurePattern
+from repro.kernel.messages import CoalescingDelivery
+from repro.kernel.system import System
+
+
+class _IdentityProcess(Process):
+    """Outputs the ambient detector's value at every step."""
+
+    def __init__(self, transform: Callable[[Any], Any] = lambda d: d):
+        self._transform = transform
+
+    def program(self, ctx: ProcessContext):
+        while True:
+            obs = yield from ctx.take_step()
+            ctx.output(self._transform(obs.detector_value))
+
+
+@dataclass
+class Transformation:
+    """A named ``T_{D -> D'}``: process factory + target checker."""
+
+    name: str
+    source: FailureDetector
+    process_factory: Callable[[int, int], Process]  # (pid, n) -> Process
+    target_checker: Callable[[Any, FailurePattern, int], CheckResult]
+
+    def processes(self, n: int):
+        return {p: self.process_factory(p, n) for p in range(n)}
+
+
+def identity_transformation(
+    source: FailureDetector,
+    target_checker,
+    name: Optional[str] = None,
+    transform: Callable[[Any], Any] = lambda d: d,
+) -> Transformation:
+    """The trivial transformation: output (a pure function of) D's value.
+
+    Witnesses facts like Σν ⪯ Σ (every Σ history satisfies Σν's properties)
+    and Σν ⪯ Σν+ (Theorem 6.7's easy direction).
+    """
+    return Transformation(
+        name=name or f"identity({source.name})",
+        source=source,
+        process_factory=lambda pid, n: _IdentityProcess(transform),
+        target_checker=target_checker,
+    )
+
+
+def projection_transformation(
+    source: FailureDetector,
+    index: int,
+    target_checker,
+    name: Optional[str] = None,
+) -> Transformation:
+    """Component projection: ``D_i ⪯ (D_0, ..., D_k)``."""
+    return Transformation(
+        name=name or f"project[{index}]({source.name})",
+        source=source,
+        process_factory=lambda pid, n: _IdentityProcess(lambda d: d[index]),
+        target_checker=target_checker,
+    )
+
+
+@dataclass
+class Demonstration:
+    """Outcome of witnessing one ⪯ fact over sampled runs."""
+
+    transformation: str
+    runs: int
+    all_valid: bool
+    checks: List[CheckResult]
+
+    def __repr__(self) -> str:
+        status = "ok" if self.all_valid else "FAILED"
+        return (
+            f"Demonstration({self.transformation}: {status} over "
+            f"{self.runs} runs)"
+        )
+
+
+def demonstrate(
+    transformation: Transformation,
+    patterns: List[FailurePattern],
+    seed: int = 0,
+    max_steps: int = 4000,
+    min_outputs: int = 5,
+    extra_steps: int = 150,
+) -> Demonstration:
+    """Run ``transformation`` over each pattern; check every emitted history."""
+    checks: List[CheckResult] = []
+    for i, pattern in enumerate(patterns):
+        history = transformation.source.sample_history(
+            pattern, random.Random(f"{seed}/{i}")
+        )
+        system = System(
+            transformation.processes(pattern.n),
+            pattern,
+            history,
+            seed=seed + i,
+            delivery=CoalescingDelivery(),
+        )
+        result = system.run(
+            max_steps=max_steps,
+            stop_when=lambda s: s.correct_output_count(min_outputs),
+            extra_steps=extra_steps,
+        )
+        recorded = recorded_output_history(result)
+        checks.append(
+            transformation.target_checker(recorded, pattern, recorded.horizon)
+        )
+    return Demonstration(
+        transformation=transformation.name,
+        runs=len(patterns),
+        all_valid=all(c.ok for c in checks),
+        checks=checks,
+    )
+
+
+# ----------------------------------------------------------------------
+# The lattice facts used by the paper, prepackaged
+# ----------------------------------------------------------------------
+
+
+def sigma_nu_weaker_than_sigma() -> Transformation:
+    """Σν ⪯ Σ: a Σ history already satisfies Σν (identity suffices)."""
+    from repro.detectors.checkers import check_sigma_nu
+    from repro.detectors.sigma import Sigma
+
+    return identity_transformation(
+        Sigma("pivot"), check_sigma_nu, name="Sigma^nu <= Sigma"
+    )
+
+
+def sigma_nu_weaker_than_sigma_nu_plus() -> Transformation:
+    """Σν ⪯ Σν+: the easy direction of Corollary 6.8."""
+    from repro.detectors.checkers import check_sigma_nu
+    from repro.detectors.sigma_nu_plus import SigmaNuPlus
+
+    return identity_transformation(
+        SigmaNuPlus(), check_sigma_nu, name="Sigma^nu <= Sigma^nu+"
+    )
+
+
+def omega_weaker_than_pair() -> Transformation:
+    """Ω ⪯ (Ω, Σν): projection onto the first component."""
+    from repro.detectors.checkers import check_omega
+    from repro.detectors.omega import Omega
+    from repro.detectors.paired import PairedDetector
+    from repro.detectors.sigma_nu import SigmaNu
+
+    return projection_transformation(
+        PairedDetector(Omega(), SigmaNu()),
+        index=0,
+        target_checker=check_omega,
+        name="Omega <= (Omega, Sigma^nu)",
+    )
+
+
+def sigma_nu_plus_weaker_than_sigma_nu(n: int) -> Transformation:
+    """Σν+ ⪯ Σν: the substantial direction (Theorem 6.7, Fig. 3)."""
+    from repro.core.boosting import SigmaNuPlusBooster
+    from repro.detectors.checkers import check_sigma_nu_plus
+    from repro.detectors.sigma_nu import SigmaNu
+
+    return Transformation(
+        name="Sigma^nu+ <= Sigma^nu (Thm 6.7)",
+        source=SigmaNu(),
+        process_factory=lambda pid, n_: SigmaNuPlusBooster(n_),
+        target_checker=check_sigma_nu_plus,
+    )

@@ -1,0 +1,47 @@
+"""Product detectors (D, D') — footnote 1 / Section 2.3.
+
+``(D, D')`` outputs ordered pairs; a history of the pair projects to a
+history of each component.  The consensus algorithms in this repository take
+their leader and quorum components from a paired history, e.g.
+``(Omega, Sigma^nu+)`` for A_nuc.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence, Tuple
+
+from repro.detectors.base import FailureDetector, History
+from repro.kernel.failures import FailurePattern
+
+
+class PairedHistory(History):
+    """The product history: ``H''(p, t) = (H(p, t), H'(p, t))``."""
+
+    def __init__(self, components: Sequence[History]):
+        if len(components) < 2:
+            raise ValueError("a paired history needs at least two components")
+        self.components = tuple(components)
+
+    def value(self, p: int, t: int) -> Tuple[Any, ...]:
+        return tuple(component.value(p, t) for component in self.components)
+
+    def project(self, index: int) -> History:
+        return self.components[index]
+
+
+class PairedDetector(FailureDetector):
+    """The product detector ``(D, D', ...)``."""
+
+    def __init__(self, *detectors: FailureDetector):
+        if len(detectors) < 2:
+            raise ValueError("a paired detector needs at least two components")
+        self.detectors = detectors
+        self.name = "(" + ", ".join(d.name for d in detectors) + ")"
+
+    def sample_history(
+        self, pattern: FailurePattern, rng: random.Random
+    ) -> PairedHistory:
+        return PairedHistory(
+            [d.sample_history(pattern, rng) for d in self.detectors]
+        )

@@ -1,0 +1,77 @@
+"""The perfect detector P and the eventually perfect detector <>P.
+
+These are not part of the paper's headline results, but they serve as the
+"strong detector D" in necessity experiments: P can be used to solve
+(uniform) consensus with any number of crashes, so Theorem 5.4's
+transformation applied to a P-based consensus algorithm must emit valid
+Sigma^nu histories — a differential test of the extraction machinery.
+
+P outputs the set of processes it currently *suspects*; strong completeness
+(crashed processes are eventually suspected by every correct process, here
+after a bounded detection lag) and strong accuracy (no process is suspected
+before it crashes) both hold.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet
+
+from repro.detectors.base import FailureDetector, FunctionalHistory, History
+from repro.kernel.failures import FailurePattern
+
+
+class Perfect(FailureDetector):
+    """P: suspects exactly the processes crashed at least ``lag`` ago."""
+
+    name = "P"
+
+    def __init__(self, lag: int = 5):
+        if lag < 0:
+            raise ValueError("lag must be nonnegative")
+        self.lag = lag
+
+    def sample_history(self, pattern: FailurePattern, rng: random.Random) -> History:
+        lag = self.lag
+
+        def suspects(p: int, t: int) -> FrozenSet[int]:
+            return frozenset(
+                q
+                for q in pattern.faulty
+                if pattern.crash_time(q) is not None
+                and pattern.crash_time(q) + lag <= t
+            )
+
+        return FunctionalHistory(suspects)
+
+
+class EventuallyPerfect(FailureDetector):
+    """<>P: arbitrary wrong suspicions before a stabilization time, perfect
+    afterwards."""
+
+    name = "<>P"
+
+    def __init__(self, stabilization_slack: int = 30, noise_prob: float = 0.3):
+        self.stabilization_slack = stabilization_slack
+        self.noise_prob = noise_prob
+
+    def sample_history(self, pattern: FailurePattern, rng: random.Random) -> History:
+        stab = pattern.last_crash_time + rng.randint(1, self.stabilization_slack)
+        noise_seed = rng.getrandbits(32)
+        noise_prob = self.noise_prob
+
+        def suspects(p: int, t: int) -> FrozenSet[int]:
+            crashed = frozenset(
+                q
+                for q in pattern.faulty
+                if pattern.crash_time(q) is not None and pattern.crash_time(q) <= t
+            )
+            if t >= stab:
+                return crashed
+            local = random.Random(f"{noise_seed}/{p}/{t}")
+            wrong = frozenset(
+                q for q in pattern.processes if local.random() < noise_prob
+            )
+            return crashed | wrong
+
+        return FunctionalHistory(suspects)

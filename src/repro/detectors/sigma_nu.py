@@ -1,0 +1,102 @@
+"""The nonuniform quorum failure detector Sigma^nu (Section 3.3).
+
+Sigma^nu differs from Sigma in one respect: only quorums output by *correct*
+processes must intersect.  Quorums output at faulty processes are completely
+unconstrained — they may be empty, or disjoint from everybody else's.  That
+freedom is exactly what makes Sigma^nu strictly weaker than Sigma when half
+or more of the processes may crash (Theorem 7.1), and it is what the
+contamination scenario of Section 6.3 exploits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.detectors.base import FailureDetector, History, ScheduleHistory
+from repro.detectors.sigma import Quorum, _dedup, _random_superset
+from repro.kernel.failures import FailurePattern
+
+
+class SigmaNu(FailureDetector):
+    """Samples valid Sigma^nu histories.
+
+    Correct processes follow a pivot strategy (all their quorums share a
+    correct pivot, eventually shrinking into ``correct(F)``).  Faulty
+    processes' quorums are governed by ``faulty_style``:
+
+    * ``"selfish"`` — a faulty process outputs ``{p}`` (its own singleton),
+      the maximally non-intersecting choice the definition permits;
+    * ``"junk"`` — arbitrary random subsets of Pi, possibly empty;
+    * ``"obedient"`` — faulty processes behave like correct ones (such
+      histories are also valid Sigma histories, useful for differential
+      tests).
+    """
+
+    name = "Sigma^nu"
+
+    def __init__(
+        self,
+        faulty_style: str = "selfish",
+        stabilization_slack: int = 30,
+        changes: int = 4,
+        pivot: Optional[int] = None,
+    ):
+        if faulty_style not in ("selfish", "junk", "obedient"):
+            raise ValueError(f"unknown faulty_style {faulty_style!r}")
+        self.faulty_style = faulty_style
+        self.stabilization_slack = stabilization_slack
+        self.changes = changes
+        self.pivot = pivot
+
+    def sample_history(self, pattern: FailurePattern, rng: random.Random) -> History:
+        correct = sorted(pattern.correct)
+        everyone = list(pattern.processes)
+        if not correct:
+            return ScheduleHistory({p: [(0, frozenset())] for p in everyone})
+        pivot = self.pivot if self.pivot is not None else rng.choice(correct)
+        if pivot not in pattern.correct:
+            raise ValueError(f"pivot {pivot} is not correct in {pattern!r}")
+
+        breakpoints = {}
+        for p in everyone:
+            if p in pattern.correct or self.faulty_style == "obedient":
+                breakpoints[p] = self._correct_points(
+                    pattern, rng, pivot, correct, everyone
+                )
+            else:
+                breakpoints[p] = self._faulty_points(pattern, rng, p, everyone)
+        return ScheduleHistory(breakpoints)
+
+    def _correct_points(
+        self, pattern, rng, pivot, correct, everyone
+    ) -> List[Tuple[int, Quorum]]:
+        stab = pattern.last_crash_time + rng.randint(1, self.stabilization_slack)
+        points: List[Tuple[int, Quorum]] = [
+            (0, _random_superset(rng, [pivot], everyone))
+        ]
+        for _ in range(self.changes):
+            points.append(
+                (rng.randrange(stab), _random_superset(rng, [pivot], everyone))
+            )
+        points.append((stab, _random_superset(rng, [pivot], correct)))
+        for _ in range(self.changes):
+            points.append(
+                (stab + rng.randint(1, 50), _random_superset(rng, [pivot], correct))
+            )
+        return _dedup(points, keep_last_at=stab)
+
+    def _faulty_points(self, pattern, rng, p, everyone) -> List[Tuple[int, Quorum]]:
+        crash = pattern.crash_time(p)
+        horizon = max(1, crash if crash is not None else 1)
+        if self.faulty_style == "selfish":
+            return [(0, frozenset([p]))]
+        points: List[Tuple[int, Quorum]] = [
+            (0, frozenset(rng.sample(everyone, rng.randint(0, len(everyone)))))
+        ]
+        for _ in range(self.changes):
+            t = rng.randrange(horizon)
+            points.append(
+                (t, frozenset(rng.sample(everyone, rng.randint(0, len(everyone)))))
+            )
+        return _dedup(points, keep_last_at=0)

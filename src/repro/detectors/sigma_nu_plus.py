@@ -1,0 +1,120 @@
+"""The boosted nonuniform quorum detector Sigma^nu+ (Section 6.1).
+
+Sigma^nu+ adds two properties to Sigma^nu:
+
+* Conditional nonintersection: any quorum (output anywhere, any time) that
+  fails to intersect some quorum of a *correct* process contains only faulty
+  processes.
+* Self-inclusion: every process is contained in all of its own quorums.
+
+Together these imply nonuniform intersection, but the paper (and we) keep it
+as an explicit property.  Theorem 6.7 shows Sigma^nu+ is emulable from
+Sigma^nu in any environment; this module's generator exists so A_nuc can also
+be driven directly from synthetic Sigma^nu+ histories.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.detectors.base import FailureDetector, History, ScheduleHistory
+from repro.detectors.sigma import Quorum, _dedup, _random_superset
+from repro.kernel.failures import FailurePattern
+
+
+class SigmaNuPlus(FailureDetector):
+    """Samples valid Sigma^nu+ histories.
+
+    Correct processes output quorums containing both themselves and a fixed
+    correct pivot (self-inclusion + structural intersection), eventually
+    inside ``correct(F)``.  A faulty process ``p`` follows one of two modes,
+    both legitimate:
+
+    * *doomed* — quorums containing only faulty processes (including ``p``),
+      which conditional nonintersection permits to be disjoint from
+      everything;
+    * *cooperative* — quorums containing ``p`` and the pivot, which intersect
+      every correct quorum.
+
+    ``faulty_mode`` chooses ``"doomed"``, ``"cooperative"`` or ``"mixed"``
+    (random per faulty process).
+    """
+
+    name = "Sigma^nu+"
+
+    def __init__(
+        self,
+        faulty_mode: str = "mixed",
+        stabilization_slack: int = 30,
+        changes: int = 4,
+        pivot: Optional[int] = None,
+    ):
+        if faulty_mode not in ("doomed", "cooperative", "mixed"):
+            raise ValueError(f"unknown faulty_mode {faulty_mode!r}")
+        self.faulty_mode = faulty_mode
+        self.stabilization_slack = stabilization_slack
+        self.changes = changes
+        self.pivot = pivot
+
+    def sample_history(self, pattern: FailurePattern, rng: random.Random) -> History:
+        correct = sorted(pattern.correct)
+        everyone = list(pattern.processes)
+        if not correct:
+            return ScheduleHistory(
+                {p: [(0, frozenset([p]))] for p in everyone}
+            )
+        pivot = self.pivot if self.pivot is not None else rng.choice(correct)
+        if pivot not in pattern.correct:
+            raise ValueError(f"pivot {pivot} is not correct in {pattern!r}")
+
+        breakpoints = {}
+        for p in everyone:
+            if p in pattern.correct:
+                breakpoints[p] = self._correct_points(
+                    pattern, rng, p, pivot, correct, everyone
+                )
+            else:
+                mode = self.faulty_mode
+                if mode == "mixed":
+                    mode = rng.choice(["doomed", "cooperative"])
+                breakpoints[p] = self._faulty_points(
+                    pattern, rng, p, pivot, everyone, mode
+                )
+        return ScheduleHistory(breakpoints)
+
+    def _correct_points(
+        self, pattern, rng, p, pivot, correct, everyone
+    ) -> List[Tuple[int, Quorum]]:
+        stab = pattern.last_crash_time + rng.randint(1, self.stabilization_slack)
+        core = [pivot, p]
+        points: List[Tuple[int, Quorum]] = [(0, _random_superset(rng, core, everyone))]
+        for _ in range(self.changes):
+            points.append(
+                (rng.randrange(stab), _random_superset(rng, core, everyone))
+            )
+        points.append((stab, _random_superset(rng, core, correct)))
+        for _ in range(self.changes):
+            points.append(
+                (stab + rng.randint(1, 50), _random_superset(rng, core, correct))
+            )
+        return _dedup(points, keep_last_at=stab)
+
+    def _faulty_points(
+        self, pattern, rng, p, pivot, everyone, mode
+    ) -> List[Tuple[int, Quorum]]:
+        faulty = sorted(set(everyone) - set(pattern.correct))
+        if mode == "doomed":
+            # Quorums contain only faulty processes (self-inclusion holds).
+            points: List[Tuple[int, Quorum]] = [
+                (0, _random_superset(rng, [p], faulty))
+            ]
+            crash = pattern.crash_time(p) or 1
+            for _ in range(self.changes):
+                points.append(
+                    (rng.randrange(max(1, crash)), _random_superset(rng, [p], faulty))
+                )
+            return _dedup(points, keep_last_at=0)
+        # Cooperative: contains p and the pivot, so it intersects every
+        # correct quorum; conditional nonintersection is satisfied vacuously.
+        return [(0, _random_superset(rng, [p, pivot], everyone))]

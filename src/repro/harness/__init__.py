@@ -1,0 +1,47 @@
+"""Experiment harness: one-shot runners and the EXP-1..EXP-7 sweeps."""
+
+from repro.harness.runner import (
+    BoostRunOutcome,
+    ConsensusRunOutcome,
+    ExtractionRunOutcome,
+    random_pattern,
+    run_boosting,
+    run_consensus_algorithm,
+    run_extraction,
+    run_from_scratch_sigma,
+    run_nuc,
+    run_stack,
+)
+from repro.harness.experiments import (
+    exp1_nuc_sufficiency,
+    exp2_boosting,
+    exp3_extraction,
+    exp4_separation,
+    exp5_contamination,
+    exp6_merging,
+    exp7_scaling,
+    exp8_exhaustive,
+    exp9_registers,
+)
+
+__all__ = [
+    "BoostRunOutcome",
+    "ConsensusRunOutcome",
+    "ExtractionRunOutcome",
+    "exp1_nuc_sufficiency",
+    "exp2_boosting",
+    "exp3_extraction",
+    "exp4_separation",
+    "exp5_contamination",
+    "exp6_merging",
+    "exp7_scaling",
+    "exp8_exhaustive",
+    "exp9_registers",
+    "random_pattern",
+    "run_boosting",
+    "run_consensus_algorithm",
+    "run_extraction",
+    "run_from_scratch_sigma",
+    "run_nuc",
+    "run_stack",
+]

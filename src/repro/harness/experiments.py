@@ -1,0 +1,492 @@
+"""The experiment sweeps EXP-1 .. EXP-7 (see DESIGN.md section 4).
+
+Each function runs one experiment family and returns an
+:class:`~repro.analysis.tables.Table` ready to print; EXPERIMENTS.md records
+their reference output.  Sizes are parameterized so the same code serves the
+quick benchmark configuration and fuller offline sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import rate, summarize
+from repro.analysis.tables import Table
+from repro.consensus.flood_p import FloodSetPerfect
+from repro.consensus.mostefaoui_raynal import MostefaouiRaynal
+from repro.consensus.quorum_mr import QuorumMR
+from repro.detectors.omega import Omega
+from repro.detectors.paired import PairedDetector
+from repro.detectors.perfect import Perfect
+from repro.detectors.sigma import Sigma
+from repro.detectors.sigma_nu import SigmaNu
+from repro.harness.runner import (
+    random_binary_proposals,
+    random_pattern,
+    run_boosting,
+    run_extraction,
+    run_from_scratch_sigma,
+    run_nuc,
+    run_stack,
+)
+from repro.kernel.failures import FailurePattern
+from repro.separation.adversary import run_partition_adversary
+from repro.separation.contamination import run_contamination_scenario
+from repro.separation.from_scratch_sigma import FromScratchSigma
+
+
+def exp1_nuc_sufficiency(
+    ns: Sequence[int] = (2, 3, 4, 5, 6),
+    seeds: Sequence[int] = tuple(range(5)),
+    max_steps: int = 30000,
+    include_stack: bool = True,
+) -> Table:
+    """EXP-1 (Thms 6.27/6.28): A_nuc and the full stack solve nonuniform
+    consensus in any environment, including minority-correct ones."""
+    table = Table(
+        "EXP-1: nonuniform consensus sufficiency — A_nuc with (Omega, Sigma^nu+)"
+        + (" and the (Omega, Sigma^nu) stack" if include_stack else ""),
+        [
+            "algo",
+            "n",
+            "runs",
+            "decided",
+            "agreement_ok",
+            "mean_steps",
+            "mean_msgs",
+        ],
+    )
+    for n in ns:
+        outcomes = []
+        for seed in seeds:
+            rng = random.Random((seed + 1) * 7919 + n)
+            pattern = random_pattern(n, rng)
+            proposals = random_binary_proposals(n, rng)
+            outcomes.append(run_nuc(pattern, proposals, seed=seed, max_steps=max_steps))
+        table.add_row(
+            "A_nuc",
+            n,
+            len(outcomes),
+            sum(1 for o in outcomes if o.metrics.all_correct_decided),
+            all(o.nonuniform.ok for o in outcomes),
+            summarize(o.metrics.steps for o in outcomes).mean,
+            summarize(o.metrics.messages_sent for o in outcomes).mean,
+        )
+        if include_stack:
+            outcomes = []
+            for seed in seeds:
+                rng = random.Random((seed + 1) * 104729 + n)
+                pattern = random_pattern(n, rng)
+                proposals = random_binary_proposals(n, rng)
+                outcomes.append(
+                    run_stack(pattern, proposals, seed=seed, max_steps=2 * max_steps)
+                )
+            table.add_row(
+                "stack",
+                n,
+                len(outcomes),
+                sum(1 for o in outcomes if o.metrics.all_correct_decided),
+                all(
+                    o.nonuniform.ok and o.boosted_check.ok for o in outcomes
+                ),
+                summarize(o.metrics.steps for o in outcomes).mean,
+                summarize(o.metrics.messages_sent for o in outcomes).mean,
+            )
+    table.add_note(
+        "failure patterns sample up to n-1 crashes; 'agreement_ok' also "
+        "covers validity and, for the stack, the emulated Sigma^nu+ checks"
+    )
+    return table
+
+
+def exp2_boosting(
+    ns: Sequence[int] = (2, 3, 4, 5, 6),
+    seeds: Sequence[int] = tuple(range(5)),
+    faulty_styles: Sequence[str] = ("selfish", "junk", "obedient"),
+) -> Table:
+    """EXP-2 (Thm 6.7): the booster's output satisfies all four Sigma^nu+
+    properties in any environment."""
+    table = Table(
+        "EXP-2: T_{Sigma^nu -> Sigma^nu+} output validity",
+        ["n", "faulty_style", "runs", "all_valid", "mean_outputs", "mean_steps"],
+    )
+    for n in ns:
+        for style in faulty_styles:
+            outcomes = []
+            for seed in seeds:
+                rng = random.Random((seed + 1) * 31 + n)
+                pattern = random_pattern(n, rng, max_crash_time=50)
+                outcomes.append(
+                    run_boosting(pattern, seed=seed, detector=SigmaNu(style))
+                )
+            table.add_row(
+                n,
+                style,
+                len(outcomes),
+                all(o.check.ok for o in outcomes),
+                summarize(o.metrics.outputs_emitted for o in outcomes).mean,
+                summarize(o.metrics.steps for o in outcomes).mean,
+            )
+    return table
+
+
+def exp3_extraction(
+    ns: Sequence[int] = (3, 4),
+    seeds: Sequence[int] = tuple(range(3)),
+) -> Table:
+    """EXP-3 (Thms 5.4/5.8): T_{D -> Sigma^nu} over several (D, A) pairs.
+
+    Because every subject algorithm here solves *uniform* consensus with its
+    detector, the extracted history must satisfy full Sigma as well
+    (Theorem 5.8) — both verdicts are reported.
+    """
+    from repro.consensus.chandra_toueg import ChandraTouegS
+    from repro.detectors.perfect import EventuallyPerfect
+
+    subjects = [
+        ("(Omega,Sigma) / quorum-MR", QuorumMR(), lambda: PairedDetector(Omega(), Sigma("pivot")), None),
+        ("P / floodset", FloodSetPerfect(), lambda: Perfect(lag=4), None),
+        ("Omega / MR (majority env)", MostefaouiRaynal(), lambda: Omega(), "majority"),
+        ("<>P / Chandra-Toueg (majority env)", ChandraTouegS(), lambda: EventuallyPerfect(), "majority"),
+    ]
+    table = Table(
+        "EXP-3: necessity extraction T_{D -> Sigma^nu}",
+        ["subject", "n", "runs", "sigma_nu_ok", "sigma_ok", "mean_quorum_size"],
+    )
+    for label, subject, detector_factory, env in subjects:
+        for n in ns:
+            outcomes = []
+            for seed in seeds:
+                rng = random.Random((seed + 1) * 53 + n)
+                max_faulty = (n - 1) // 2 if env == "majority" else n - 1
+                pattern = random_pattern(n, rng, max_faulty=max_faulty, max_crash_time=40)
+                outcomes.append(
+                    run_extraction(subject, detector_factory(), pattern, seed=seed)
+                )
+            sizes: List[int] = []
+            for o in outcomes:
+                for p, events in o.result.outputs.items():
+                    sizes.extend(len(q) for _, q in events[1:])
+            table.add_row(
+                label,
+                n,
+                len(outcomes),
+                all(o.sigma_nu_check.ok for o in outcomes),
+                all(o.sigma_check.ok for o in outcomes),
+                summarize(sizes).mean if sizes else float("nan"),
+            )
+    return table
+
+
+def exp4_separation(
+    cases: Sequence[Tuple[int, int]] = ((2, 1), (4, 2), (5, 3), (6, 3), (3, 1), (5, 2)),
+    seeds: Sequence[int] = (0, 1),
+) -> Table:
+    """EXP-4 (Thm 7.1): (Omega, Sigma^nu) vs (Omega, Sigma) by environment.
+
+    For ``t < n/2`` the from-scratch algorithm implements Sigma (validated by
+    the Sigma checker); for ``t >= n/2`` the partition adversary breaks any
+    candidate transformation — here, the same algorithm run with threshold
+    ``n - t``.
+    """
+    table = Table(
+        "EXP-4: Theorem 7.1 separation — E_t environments",
+        ["n", "t", "t<n/2", "from-scratch Sigma valid", "adversary verdict"],
+    )
+    for n, t in cases:
+        majority = t < n / 2
+        if majority:
+            ok = True
+            for seed in seeds:
+                rng = random.Random(seed * 17 + n)
+                crashed = rng.sample(range(n), t)
+                pattern = FailurePattern(
+                    n, {p: rng.randint(0, 30) for p in crashed}
+                )
+                outcome = run_from_scratch_sigma(n, t, pattern, seed=seed)
+                ok = ok and outcome.check.ok
+            table.add_row(n, t, True, ok, "adversary inapplicable (no partition)")
+        else:
+            verdicts = [
+                run_partition_adversary(
+                    lambda pid, n=n, t=t: FromScratchSigma(n, t), n, t, seed=seed
+                )
+                for seed in seeds
+            ]
+            broke = all(v.violated for v in verdicts)
+            table.add_row(
+                n,
+                t,
+                False,
+                "n/a (not claimed)",
+                "intersection VIOLATED" if broke else "survived (unexpected)",
+            )
+    table.add_note(
+        "the adversary attacks the from-scratch algorithm run with "
+        "threshold n-t; Theorem 7.1 says every transformation fails likewise"
+    )
+    return table
+
+
+def exp5_contamination(seeds: Sequence[int] = (0, 1, 2)) -> Table:
+    """EXP-5 (Section 6.3): the naive Sigma^nu quorum algorithm is
+    contaminable; A_nuc is not, under the same scenario family."""
+    table = Table(
+        "EXP-5: Section 6.3 contamination scenario (n=3, process 2 faulty)",
+        [
+            "algorithm",
+            "seed",
+            "decisions(correct)",
+            "agreement violated",
+            "history valid",
+            "distrust events",
+        ],
+    )
+    for algorithm in ("naive", "anuc"):
+        for seed in seeds:
+            report = run_contamination_scenario(algorithm, seed=seed)
+            correct_decisions = {
+                p: v for p, v in report.decisions.items() if p in (0, 1)
+            }
+            table.add_row(
+                algorithm,
+                seed,
+                str(correct_decisions),
+                report.contaminated,
+                report.omega_check.ok and report.sigma_check.ok,
+                len(report.distrust_events),
+            )
+    table.add_note(
+        "expected: naive violates nonuniform agreement in every seed; "
+        "A_nuc never does and shows distrust activity instead"
+    )
+    return table
+
+
+def exp6_merging(
+    seeds: Sequence[int] = tuple(range(10)),
+    n: int = 5,
+) -> Table:
+    """EXP-6 (Lemma 2.2): merged mergeable runs are runs, and participants'
+    final states are preserved."""
+    from repro.harness.merging import random_mergeable_pair_report
+
+    table = Table(
+        "EXP-6: Lemma 2.2 merging of mergeable runs",
+        ["seed", "|S0|", "|S1|", "merged is run", "states preserved"],
+    )
+    for seed in seeds:
+        report = random_mergeable_pair_report(n, seed)
+        table.add_row(
+            seed,
+            report.len0,
+            report.len1,
+            report.merged_valid,
+            report.states_preserved,
+        )
+    return table
+
+
+def exp7_scaling(
+    ns: Sequence[int] = (2, 3, 4, 5, 6, 7),
+    seeds: Sequence[int] = (0, 1, 2),
+) -> Table:
+    """EXP-7 (cost profile): steps and messages to decision for A_nuc vs the
+    MR baselines, and booster output cadence, as n grows."""
+    from repro.harness.runner import run_consensus_algorithm
+
+    table = Table(
+        "EXP-7: scaling — mean steps / messages / rounds to decision",
+        ["algo", "n", "mean_steps", "mean_msgs", "mean_rounds", "decided_rate"],
+    )
+    for n in ns:
+        rows = {
+            "MR (Omega, majority env)": [],
+            "quorum-MR (Omega,Sigma)": [],
+            "A_nuc (Omega,Sigma^nu+)": [],
+        }
+        for seed in seeds:
+            rng = random.Random(seed * 13 + n)
+            maj_pattern = random_pattern(n, rng, max_faulty=(n - 1) // 2)
+            any_pattern = random_pattern(n, rng)
+            proposals = random_binary_proposals(n, rng)
+            rows["MR (Omega, majority env)"].append(
+                run_consensus_algorithm(
+                    MostefaouiRaynal(), Omega(), maj_pattern, proposals, seed=seed
+                )
+            )
+            rows["quorum-MR (Omega,Sigma)"].append(
+                run_consensus_algorithm(
+                    QuorumMR(),
+                    PairedDetector(Omega(), Sigma("pivot")),
+                    any_pattern,
+                    proposals,
+                    seed=seed,
+                )
+            )
+            rows["A_nuc (Omega,Sigma^nu+)"].append(
+                run_nuc(any_pattern, proposals, seed=seed)
+            )
+        for label, outcomes in rows.items():
+            rounds = [r for o in outcomes for r in _decision_rounds(o)]
+            table.add_row(
+                label,
+                n,
+                summarize(o.metrics.steps for o in outcomes).mean,
+                summarize(o.metrics.messages_sent for o in outcomes).mean,
+                summarize(rounds).mean if rounds else float("nan"),
+                rate(
+                    sum(1 for o in outcomes if o.metrics.all_correct_decided),
+                    len(outcomes),
+                ),
+            )
+    return table
+
+
+def exp8_exhaustive(
+    n: int = 3,
+    crash_times: Sequence[int] = (0, 25),
+    seeds: Sequence[int] = (0, 1),
+    max_steps: int = 40000,
+) -> Table:
+    """EXP-8: exhaustive environment coverage at small n.
+
+    "In any environment" means for every failure pattern; a simulator can at
+    least enumerate every crash *set* for small n (combined with a grid of
+    crash times) and check A_nuc on each.  With n = 3 and two candidate
+    times this is every subset of up to n-1 processes crashing early or
+    late — including every minority-correct pattern.
+    """
+    from repro.kernel.environment import Environment
+
+    env = Environment.any_failures(n)
+    table = Table(
+        f"EXP-8: exhaustive crash-set sweep for A_nuc (n={n}, "
+        f"times={list(crash_times)})",
+        ["crash_set", "patterns", "runs", "decided", "agreement_ok"],
+    )
+    for crash_set in env.enumerate_crash_sets():
+        patterns: List[FailurePattern] = []
+        members = sorted(crash_set)
+        if not members:
+            patterns.append(FailurePattern.no_failures(n))
+        else:
+            import itertools as _it
+
+            for times in _it.product(crash_times, repeat=len(members)):
+                patterns.append(FailurePattern(n, dict(zip(members, times))))
+        outcomes = []
+        for pattern in patterns:
+            for seed in seeds:
+                rng = random.Random(f"exp8/{sorted(crash_set)}/{seed}")
+                proposals = random_binary_proposals(n, rng)
+                outcomes.append(
+                    run_nuc(pattern, proposals, seed=seed, max_steps=max_steps)
+                )
+        table.add_row(
+            "{" + ",".join(str(p) for p in members) + "}" if members else "{}",
+            len(patterns),
+            len(outcomes),
+            sum(1 for o in outcomes if o.metrics.all_correct_decided),
+            all(o.nonuniform.ok for o in outcomes),
+        )
+    return table
+
+
+def _decision_rounds(outcome) -> List[int]:
+    """Rounds in which correct processes decided, when the run recorded them.
+
+    A_nuc runs expose per-process traces; the MR-family automata expose the
+    decision round through the schedule-visible LEAD tags — we estimate it
+    from each decider's message log is unnecessary: the automaton state is
+    not retained by the runner, so we fall back to counting LEAD rounds the
+    decider opened, reconstructed from its sent messages.
+    """
+    rounds: List[int] = []
+    result = outcome.result
+    for p, decided_at in result.decision_times.items():
+        if p not in result.pattern.correct:
+            continue
+        opened = 0
+        for record in result.steps:
+            if record.pid != p or record.time > decided_at:
+                continue
+            for message in record.sends:
+                payload = message.payload
+                if (
+                    isinstance(payload, tuple)
+                    and len(payload) >= 2
+                    and payload[0] == "LEAD"
+                    and isinstance(payload[1], int)
+                ):
+                    opened = max(opened, payload[1])
+        if opened:
+            rounds.append(opened)
+    return rounds
+
+
+def exp9_registers(
+    seeds: Sequence[int] = (0, 1, 2),
+) -> Table:
+    """EXP-9 (paper intro / [3]'s technique): registers need Sigma.
+
+    Under Sigma the ABD quorum-register emulation stays atomic across
+    random workloads and crashes; under Sigma^nu the lost-write scenario
+    produces a checked atomicity violation on a certified-legal history —
+    the executable reason the uniform proof route cannot carry the
+    nonuniform result.
+    """
+    import random as _random
+
+    from repro.detectors import Sigma as _Sigma
+    from repro.registers import RegisterHarness, check_register_safety
+    from repro.registers.counterexample import (
+        run_lost_write_scenario,
+        run_sigma_control_arm,
+    )
+
+    table = Table(
+        "EXP-9: quorum registers — Sigma atomic, Sigma^nu contaminable",
+        ["arm", "seed", "operations", "atomic", "note"],
+    )
+    for seed in seeds:
+        rng = _random.Random(f"exp9/{seed}")
+        n = 4
+        pattern = FailurePattern(n, {3: rng.randint(20, 50)})
+        scripts = {
+            0: [("write", f"a{seed}"), ("read",)],
+            1: [("read",), ("write", f"b{seed}")],
+            2: [("read",), ("read",)],
+            3: [("write", f"c{seed}")],
+        }
+        history = _Sigma("pivot").sample_history(pattern, rng)
+        harness = RegisterHarness(
+            pattern=pattern, history=history, scripts=scripts, seed=seed
+        )
+        _, records, procs = harness.run()
+        report = check_register_safety(
+            records, RegisterHarness.incomplete_writes(procs)
+        )
+        table.add_row("Sigma / ABD", seed, len(records), report.ok, "random workload")
+    for seed in seeds:
+        report = run_lost_write_scenario(seed=seed)
+        table.add_row(
+            "Sigma^nu / lost write",
+            seed,
+            2,
+            report.safety.ok,
+            "history legal Sigma^nu"
+            if report.sigma_nu_check.ok
+            else "HISTORY INVALID?",
+        )
+    table.add_row(
+        "Sigma control arm",
+        0,
+        0,
+        True,
+        "isolated write blocks"
+        if run_sigma_control_arm()
+        else "UNEXPECTED: write completed",
+    )
+    return table

@@ -1,0 +1,370 @@
+"""Process formalisms (Section 2.4): automata and coroutine processes.
+
+The model defines an algorithm as a collection of deterministic automata, one
+per process.  A step atomically (a) receives one message or lambda, (b)
+queries the local failure detector module, (c) changes state, and (d) sends
+messages.
+
+Two renditions are provided:
+
+* :class:`Automaton` — a *pure* state machine with an explicit transition
+  function.  This form is replayable from any initial configuration along any
+  schedule, which the simulated-schedules machinery of Section 4.2 (and the
+  run merging of Lemma 2.2) requires.  Consensus algorithms that act as the
+  subject ``A`` of the necessity construction are written in this form.
+
+* :class:`Process` — a generator-coroutine process for the live
+  infrastructure algorithms (``A_DAG``, the two transformations, ``A_nuc``).
+  One ``yield`` corresponds to one model step, so the paper's pseudocode
+  (loops with blocking waits) transcribes almost line by line.
+
+Adapters bridge the two: :class:`AutomatonProcess` runs a pure automaton as a
+live process, and :class:`ReplayAutomaton` turns a deterministic coroutine
+process into a pure automaton by replaying its observation history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.kernel.messages import Message
+
+
+class DeliveredMessage(NamedTuple):
+    """What a process sees when it receives a message: sender + payload."""
+
+    sender: int
+    payload: Any
+
+
+class Observation(NamedTuple):
+    """Everything a process observes in one step."""
+
+    message: Optional[DeliveredMessage]
+    detector_value: Any
+    time: int
+
+
+Send = Tuple[int, Any]  # (destination pid, payload)
+
+
+# ----------------------------------------------------------------------
+# Pure automata
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TransitionOutcome:
+    """Result of one automaton step: the new state plus sent messages."""
+
+    state: Any
+    sends: List[Send]
+
+
+class Automaton:
+    """A deterministic per-process state machine.
+
+    ``transition`` may mutate and return the ``state`` it was given; callers
+    that need to branch must re-run schedules from an initial configuration
+    rather than share state objects (the schedule simulator does exactly
+    that).  ``transition`` must be deterministic in ``(state, msg, d)``.
+    """
+
+    def initial_state(self, pid: int, n: int, proposal: Any) -> Any:
+        raise NotImplementedError
+
+    def transition(
+        self, state: Any, pid: int, msg: Optional[DeliveredMessage], d: Any
+    ) -> TransitionOutcome:
+        raise NotImplementedError
+
+    def decision(self, state: Any) -> Optional[Any]:
+        """The value decided in ``state``, or ``None``."""
+        return None
+
+    def snapshot(self, state: Any) -> Any:
+        """A comparable, immutable summary of ``state``.
+
+        Used by the Lemma 2.2 merging tests to check that a process's state
+        in the merged run equals its state in the original run.  The default
+        uses ``repr``; automata with richer states may override.
+        """
+        return repr(state)
+
+
+# ----------------------------------------------------------------------
+# Coroutine processes
+# ----------------------------------------------------------------------
+
+
+class ProcessContext:
+    """Per-process runtime services available to a coroutine process.
+
+    The context mediates the one-yield-per-step protocol, collects outgoing
+    messages, maintains the receive log and inbox, dispatches *upon receipt*
+    handlers (the ``cobegin`` clauses of Figs. 4-5), and records decisions and
+    emulated failure-detector outputs.
+    """
+
+    def __init__(self, pid: int, n: int):
+        self.pid = pid
+        self.n = n
+        self.time: int = 0
+        self.detector_value: Any = None
+        self.step_count: int = 0
+        self.inbox: List[DeliveredMessage] = []
+        self.log: List[DeliveredMessage] = []
+        self.decision: Optional[Any] = None
+        self.decision_time: Optional[int] = None
+        self.outputs: List[Tuple[int, Any]] = []  # (time, value) assignments
+        self._outbox: List[Send] = []
+        self._handlers: List[Callable[[DeliveredMessage], bool]] = []
+
+    # -- sending ---------------------------------------------------------
+
+    def send(self, dest: int, payload: Any) -> None:
+        """Queue ``payload`` for ``dest``; emitted at this step's end."""
+        self._outbox.append((dest, payload))
+
+    def send_to_all(self, payload: Any, include_self: bool = True) -> None:
+        """The pseudocode's ``send ... to all`` (self included, as usual)."""
+        for dest in range(self.n):
+            if include_self or dest != self.pid:
+                self._outbox.append((dest, payload))
+
+    def send_each(self, dests: Iterable[int], payload: Any) -> None:
+        for dest in dests:
+            self._outbox.append((dest, payload))
+
+    # -- handlers (the `upon receipt of` clauses) -------------------------
+
+    def add_handler(self, handler: Callable[[DeliveredMessage], bool]) -> None:
+        """Register an upon-receipt handler.
+
+        Handlers run within the receiving step, before the main program sees
+        the message.  A handler returning ``True`` consumes the message (it
+        is logged but not placed in the inbox).
+        """
+        self._handlers.append(handler)
+
+    # -- stepping ---------------------------------------------------------
+
+    def take_step(self) -> Generator[List[Send], Observation, Observation]:
+        """Advance one model step.  Use as ``obs = yield from ctx.take_step()``.
+
+        Yields this step's queued sends to the runtime and receives the next
+        observation (message-or-lambda, detector value, time).
+        """
+        out, self._outbox = self._outbox, []
+        obs = yield out
+        self.time = obs.time
+        self.detector_value = obs.detector_value
+        self.step_count += 1
+        if obs.message is not None:
+            self.log.append(obs.message)
+            consumed = False
+            for handler in self._handlers:
+                if handler(obs.message):
+                    consumed = True
+                    break
+            if not consumed:
+                self.inbox.append(obs.message)
+        return obs
+
+    def wait_until(
+        self, predicate: Callable[[], bool]
+    ) -> Generator[List[Send], Observation, None]:
+        """Take steps until ``predicate()`` holds (checked before stepping)."""
+        while not predicate():
+            yield from self.take_step()
+
+    # -- message queries ---------------------------------------------------
+
+    def received(
+        self, match: Callable[[DeliveredMessage], bool]
+    ) -> List[DeliveredMessage]:
+        """All messages received so far (the log) matching ``match``."""
+        return [m for m in self.log if match(m)]
+
+    def received_from(
+        self, senders: Iterable[int], match: Callable[[DeliveredMessage], bool]
+    ) -> Dict[int, DeliveredMessage]:
+        """First matching message from each of ``senders`` (those present)."""
+        wanted = set(senders)
+        found: Dict[int, DeliveredMessage] = {}
+        for m in self.log:
+            if m.sender in wanted and m.sender not in found and match(m):
+                found[m.sender] = m
+        return found
+
+    # -- results ------------------------------------------------------------
+
+    def decide(self, value: Any) -> None:
+        """Record an (irrevocable) decision."""
+        if self.decision is not None:
+            if self.decision != value:
+                raise RuntimeError(
+                    f"process {self.pid} tried to re-decide "
+                    f"{value!r} after deciding {self.decision!r}"
+                )
+            return
+        self.decision = value
+        self.decision_time = self.time
+
+    def output(self, value: Any) -> None:
+        """Assign the emulated failure detector output variable.
+
+        This is the ``output_p`` of Section 2.9; the recorded assignment
+        history ``O_R`` is what the transformation theorems constrain.
+        """
+        self.outputs.append((self.time, value))
+
+
+class Process:
+    """A coroutine process.  Subclasses implement :meth:`program`.
+
+    ``program`` must be a generator that interacts with the runtime only via
+    ``yield from ctx.take_step()`` (or helpers built on it).  Code between two
+    ``take_step`` calls executes within a single atomic model step.
+    """
+
+    def program(
+        self, ctx: ProcessContext
+    ) -> Generator[List[Send], Observation, None]:
+        raise NotImplementedError
+
+    def initial_output(self) -> Any:
+        """Initial value of the emulated detector output, if any."""
+        return None
+
+
+class CoroutineRuntime:
+    """Drives one coroutine process through the step protocol."""
+
+    def __init__(self, process: Process, ctx: ProcessContext):
+        self.process = process
+        self.ctx = ctx
+        self._gen = process.program(ctx)
+        self._primed = False
+        self._pending_init_sends: List[Send] = []
+        self.halted = False
+
+    def step(self, observation: Observation) -> List[Send]:
+        """Run one step: feed ``observation``, return the step's sends."""
+        if self.halted:
+            # A halted (returned) program keeps taking no-op steps so the
+            # admissibility properties remain satisfiable; delivered
+            # messages are consumed without effect.
+            return []
+        try:
+            if not self._primed:
+                # Run initialization up to the first take_step yield.  Sends
+                # queued during initialization belong to the first step.
+                self._pending_init_sends = next(self._gen)
+                self._primed = True
+            sends = self._gen.send(observation)
+        except StopIteration:
+            self.halted = True
+            sends = []
+        except Exception as exc:
+            raise RuntimeError(
+                f"process {self.ctx.pid} "
+                f"({type(self.process).__name__}) crashed at step "
+                f"{self.ctx.step_count} (t={observation.time}): {exc}"
+            ) from exc
+        init, self._pending_init_sends = self._pending_init_sends, []
+        return list(init) + list(sends)
+
+
+# ----------------------------------------------------------------------
+# Adapters
+# ----------------------------------------------------------------------
+
+
+class AutomatonProcess(Process):
+    """Run a pure automaton as a live coroutine process."""
+
+    def __init__(self, automaton: Automaton, proposal: Any):
+        self.automaton = automaton
+        self.proposal = proposal
+        self.state: Any = None  # current state, exposed for drivers/tests
+
+    def program(self, ctx: ProcessContext):
+        state = self.automaton.initial_state(ctx.pid, ctx.n, self.proposal)
+        self.state = state  # exposed for scenario drivers and tests
+        while True:
+            obs = yield from ctx.take_step()
+            outcome = self.automaton.transition(
+                state, ctx.pid, obs.message, obs.detector_value
+            )
+            state = outcome.state
+            self.state = state
+            for dest, payload in outcome.sends:
+                ctx.send(dest, payload)
+            decision = self.automaton.decision(state)
+            if decision is not None and ctx.decision is None:
+                ctx.decide(decision)
+
+
+class ReplayAutomaton(Automaton):
+    """Present a deterministic coroutine process as a pure automaton.
+
+    The automaton's state is the full observation history of the process;
+    ``transition`` replays a fresh coroutine over the extended history.  This
+    costs O(k) work per step for a k-step history but lets coroutine-style
+    algorithms (like ``A_nuc``) serve as the subject ``A`` of the necessity
+    construction, whose schedules are short.
+    """
+
+    def __init__(self, process_factory: Callable[[Any], Process], n: int):
+        self._factory = process_factory
+        self._n = n
+
+    def initial_state(self, pid: int, n: int, proposal: Any) -> Any:
+        return _ReplayState(pid=pid, proposal=proposal, history=())
+
+    def transition(self, state, pid, msg, d):
+        history = state.history + ((msg, d),)
+        sends, decision = self._replay(pid, state.proposal, history)
+        new_state = _ReplayState(pid=pid, proposal=state.proposal, history=history)
+        new_state.last_decision = decision
+        return TransitionOutcome(state=new_state, sends=sends)
+
+    def decision(self, state) -> Optional[Any]:
+        return getattr(state, "last_decision", None)
+
+    def snapshot(self, state) -> Any:
+        return (state.pid, state.proposal, state.history)
+
+    def _replay(
+        self,
+        pid: int,
+        proposal: Any,
+        history: Sequence[Tuple[Optional[DeliveredMessage], Any]],
+    ) -> Tuple[List[Send], Optional[Any]]:
+        ctx = ProcessContext(pid, self._n)
+        runtime = CoroutineRuntime(self._factory(proposal), ctx)
+        sends: List[Send] = []
+        for i, (msg, d) in enumerate(history):
+            sends = runtime.step(Observation(message=msg, detector_value=d, time=i))
+        return sends, ctx.decision
+
+
+@dataclass
+class _ReplayState:
+    pid: int
+    proposal: Any
+    history: Tuple[Tuple[Optional[DeliveredMessage], Any], ...]
+    last_decision: Optional[Any] = None

@@ -1,0 +1,169 @@
+"""Environments (Section 2.2): sets of failure patterns.
+
+An environment describes the number and timing of failures that can occur.
+The paper's headline results hold in *any* environment; its Section 7
+separation result is about the environments ``E_t = {F : |faulty(F)| <= t}``.
+
+An :class:`Environment` here is a named predicate over
+:class:`~repro.kernel.failures.FailurePattern`, together with helpers to
+sample patterns from the environment (for sweeps) and to enumerate all
+crash-sets for small systems (for exhaustive tests).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.kernel.failures import FailurePattern
+
+
+class Environment:
+    """A set of failure patterns over ``n`` processes."""
+
+    def __init__(
+        self,
+        n: int,
+        contains: Callable[[FailurePattern], bool],
+        name: str,
+        max_faulty: Optional[int] = None,
+    ):
+        self._n = n
+        self._contains = contains
+        self._name = name
+        # An upper bound on |faulty(F)| over the environment, when known.
+        # Used by samplers and by algorithms (like the from-scratch Sigma
+        # implementation) that are parameterized by t.
+        self._max_faulty = max_faulty
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def max_failures(cls, n: int, t: int) -> "Environment":
+        """``E_t``: all patterns with at most ``t`` faulty processes."""
+        if not 0 <= t <= n:
+            raise ValueError(f"t must be in [0, n], got t={t} with n={n}")
+        return cls(
+            n,
+            lambda pattern: len(pattern.faulty) <= t,
+            name=f"E_{t}(n={n})",
+            max_faulty=t,
+        )
+
+    @classmethod
+    def any_failures(cls, n: int) -> "Environment":
+        """The unrestricted environment: any number of failures.
+
+        Consensus requires at least one correct process to decide anything,
+        so like the paper we still rule out the pattern where everybody
+        crashes (``correct(F)`` empty makes every property vacuous anyway).
+        """
+        return cls(
+            n,
+            lambda pattern: len(pattern.correct) >= 1,
+            name=f"E_any(n={n})",
+            max_faulty=n - 1,
+        )
+
+    @classmethod
+    def majority_correct(cls, n: int) -> "Environment":
+        """Patterns in which a majority of processes are correct."""
+        t = (n - 1) // 2
+        env = cls.max_failures(n, t)
+        env._name = f"E_majority(n={n}, t={t})"
+        return env
+
+    # ------------------------------------------------------------------
+    # Predicate interface
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def max_faulty(self) -> Optional[int]:
+        return self._max_faulty
+
+    def __contains__(self, pattern: FailurePattern) -> bool:
+        if pattern.n != self._n:
+            return False
+        return self._contains(pattern)
+
+    # ------------------------------------------------------------------
+    # Sampling and enumeration
+    # ------------------------------------------------------------------
+
+    def sample_pattern(
+        self,
+        rng: random.Random,
+        max_crash_time: int = 100,
+        faulty_count: Optional[int] = None,
+    ) -> FailurePattern:
+        """Sample a pattern from this environment.
+
+        Crash times are drawn uniformly from ``[0, max_crash_time]``.  When
+        ``faulty_count`` is given it overrides the random draw (and must be
+        admissible for this environment).
+        """
+        bound = self._max_faulty if self._max_faulty is not None else self._n - 1
+        if faulty_count is None:
+            faulty_count = rng.randint(0, bound)
+        crashed = rng.sample(range(self._n), faulty_count)
+        pattern = FailurePattern(
+            self._n,
+            {p: rng.randint(0, max_crash_time) for p in crashed},
+        )
+        if pattern not in self:
+            raise ValueError(
+                f"sampled pattern {pattern!r} falls outside {self._name}; "
+                f"check faulty_count={faulty_count}"
+            )
+        return pattern
+
+    def enumerate_crash_sets(self) -> Iterator[FrozenSetOfInts]:
+        """Yield every crash *set* admissible in this environment.
+
+        Crash times are a separate (infinite) dimension; callers combine the
+        sets yielded here with the crash times they care about.  Intended for
+        small ``n`` (exhaustive tests).
+        """
+        for size in range(self._n + 1):
+            for combo in itertools.combinations(range(self._n), size):
+                pattern = FailurePattern.initial_crashes(self._n, combo)
+                if pattern in self:
+                    yield frozenset(combo)
+
+    def enumerate_patterns(self, crash_times: Sequence[int]) -> Iterator[FailurePattern]:
+        """Yield patterns whose crash sets are admissible, with every
+        assignment of the given candidate crash times to crashed processes.
+
+        Exponential; intended only for small ``n`` and few candidate times.
+        """
+        for crash_set in self.enumerate_crash_sets():
+            members = sorted(crash_set)
+            if not members:
+                yield FailurePattern.no_failures(self._n)
+                continue
+            for times in itertools.product(crash_times, repeat=len(members)):
+                yield FailurePattern(self._n, dict(zip(members, times)))
+
+    def __repr__(self) -> str:
+        return f"Environment({self._name})"
+
+
+FrozenSetOfInts = frozenset
+
+
+def spread_crash_times(
+    n: int, crashed: Iterable[int], rng: random.Random, horizon: int
+) -> FailurePattern:
+    """Convenience: build a pattern crashing ``crashed`` at random times."""
+    return FailurePattern(n, {p: rng.randint(0, horizon) for p in crashed})

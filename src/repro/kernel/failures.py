@@ -1,0 +1,211 @@
+"""Failure patterns (Section 2.2 of the paper).
+
+A failure pattern is a function ``F : N -> 2^Pi`` where ``F(t)`` is the set of
+processes that have crashed through time ``t``.  Processes never recover, so
+``F(t)`` is monotone in ``t``.  We represent a pattern compactly by the crash
+time of each faulty process: ``p in F(t)`` iff ``crash_times[p] <= t``.
+
+Time is the discrete global clock of the model; in our simulations the clock
+ticks once per step, so crash times are expressed in step indices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional
+
+
+class FailurePattern:
+    """An immutable crash-failure pattern over processes ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of processes in the system (``n >= 1``).
+    crash_times:
+        Mapping from process id to the first time at which the process is
+        crashed.  Processes absent from the mapping are correct.
+    """
+
+    __slots__ = ("_n", "_crash_times", "_faulty", "_correct")
+
+    def __init__(self, n: int, crash_times: Optional[Mapping[int, int]] = None):
+        if n < 1:
+            raise ValueError(f"a system needs at least one process, got n={n}")
+        times: Dict[int, int] = dict(crash_times or {})
+        for pid, t in times.items():
+            if not 0 <= pid < n:
+                raise ValueError(f"crash time given for unknown process {pid}")
+            if t < 0:
+                raise ValueError(f"crash time of process {pid} is negative ({t})")
+        self._n = n
+        self._crash_times = times
+        self._faulty = frozenset(times)
+        self._correct = frozenset(p for p in range(n) if p not in times)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def no_failures(cls, n: int) -> "FailurePattern":
+        """The failure-free pattern: ``F(t) = {}`` for all ``t``."""
+        return cls(n, {})
+
+    @classmethod
+    def initial_crashes(cls, n: int, crashed: Iterable[int]) -> "FailurePattern":
+        """A pattern in which ``crashed`` are down from time 0 onwards."""
+        return cls(n, {p: 0 for p in crashed})
+
+    # ------------------------------------------------------------------
+    # The function F
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def processes(self) -> range:
+        """Pi, the set of process ids."""
+        return range(self._n)
+
+    def crashed_at(self, t: int) -> FrozenSet[int]:
+        """``F(t)``: the set of processes crashed through time ``t``."""
+        return frozenset(p for p, ct in self._crash_times.items() if ct <= t)
+
+    def is_crashed(self, p: int, t: int) -> bool:
+        """Whether ``p in F(t)``."""
+        ct = self._crash_times.get(p)
+        return ct is not None and ct <= t
+
+    def is_alive(self, p: int, t: int) -> bool:
+        return not self.is_crashed(p, t)
+
+    def alive_at(self, t: int) -> FrozenSet[int]:
+        return frozenset(p for p in range(self._n) if not self.is_crashed(p, t))
+
+    @property
+    def faulty(self) -> FrozenSet[int]:
+        """``faulty(F)``: processes that crash at some time."""
+        return self._faulty
+
+    @property
+    def correct(self) -> FrozenSet[int]:
+        """``correct(F) = Pi - faulty(F)``."""
+        return self._correct
+
+    def crash_time(self, p: int) -> Optional[int]:
+        """The time at which ``p`` crashes, or ``None`` if ``p`` is correct."""
+        return self._crash_times.get(p)
+
+    @property
+    def last_crash_time(self) -> int:
+        """The time by which every faulty process has crashed (0 if none)."""
+        if not self._crash_times:
+            return 0
+        return max(self._crash_times.values())
+
+    @property
+    def crash_times(self) -> Mapping[int, int]:
+        return dict(self._crash_times)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FailurePattern):
+            return NotImplemented
+        return self._n == other._n and self._crash_times == other._crash_times
+
+    def __hash__(self) -> int:
+        return hash((self._n, tuple(sorted(self._crash_times.items()))))
+
+    def __repr__(self) -> str:
+        if not self._crash_times:
+            return f"FailurePattern(n={self._n}, failure-free)"
+        crashes = ", ".join(
+            f"{p}@{t}" for p, t in sorted(self._crash_times.items())
+        )
+        return f"FailurePattern(n={self._n}, crashes=[{crashes}])"
+
+
+class DeferredCrashPattern:
+    """A failure pattern whose crash *times* are fixed during the run.
+
+    Scenario drivers (the Section 6.3 contamination run, the Theorem 7.1
+    partition adversary) know upfront *which* processes are faulty but decide
+    *when* to crash them based on how the run unfolds.  Formally the run they
+    produce has an ordinary failure pattern — obtained post hoc via
+    :meth:`freeze` — this class merely lets the driver pick the crash times
+    online.
+
+    ``doomed`` processes are alive until :meth:`trigger` is called for them;
+    everything else mirrors :class:`FailurePattern`.
+    """
+
+    def __init__(self, n: int, doomed: Iterable[int]):
+        self._n = n
+        self._doomed = frozenset(doomed)
+        for p in self._doomed:
+            if not 0 <= p < n:
+                raise ValueError(f"unknown process {p}")
+        self._crash_times: Dict[int, int] = {}
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def processes(self) -> range:
+        return range(self._n)
+
+    @property
+    def faulty(self) -> FrozenSet[int]:
+        return self._doomed
+
+    @property
+    def correct(self) -> FrozenSet[int]:
+        return frozenset(p for p in range(self._n) if p not in self._doomed)
+
+    def trigger(self, processes: Iterable[int], t: int) -> None:
+        """Crash the given doomed processes at time ``t`` (idempotent)."""
+        for p in processes:
+            if p not in self._doomed:
+                raise ValueError(f"process {p} was not declared doomed")
+            self._crash_times.setdefault(p, t)
+
+    def trigger_all(self, t: int) -> None:
+        self.trigger(self._doomed, t)
+
+    def is_crashed(self, p: int, t: int) -> bool:
+        ct = self._crash_times.get(p)
+        return ct is not None and ct <= t
+
+    def is_alive(self, p: int, t: int) -> bool:
+        return not self.is_crashed(p, t)
+
+    def alive_at(self, t: int) -> FrozenSet[int]:
+        return frozenset(p for p in range(self._n) if not self.is_crashed(p, t))
+
+    def crashed_at(self, t: int) -> FrozenSet[int]:
+        return frozenset(p for p in range(self._n) if self.is_crashed(p, t))
+
+    def crash_time(self, p: int) -> Optional[int]:
+        return self._crash_times.get(p)
+
+    @property
+    def last_crash_time(self) -> int:
+        return max(self._crash_times.values(), default=0)
+
+    def freeze(self, horizon: int) -> FailurePattern:
+        """The ordinary pattern this run exhibited.
+
+        Doomed processes not yet crashed are assigned ``horizon + 1`` (they
+        crash right after everything observed; any time past the horizon
+        yields the same finite run).
+        """
+        times = dict(self._crash_times)
+        for p in self._doomed:
+            times.setdefault(p, horizon + 1)
+        return FailurePattern(self._n, times)

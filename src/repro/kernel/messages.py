@@ -1,0 +1,378 @@
+"""The message buffer M and delivery policies (Sections 2.1, 2.4, 2.6).
+
+The model's message buffer is a set of triples ``(p, data, q)``: process
+``p`` sent ``data`` to ``q`` and ``q`` has not yet received it.  Messages are
+unique (the model stipulates a per-sender counter), which we realize with a
+``uid = (sender, seq)`` stamped by the buffer.
+
+Receipt is nondeterministic: in each step a process receives either a pending
+message addressed to it or the empty message (lambda).  That choice is made
+by a :class:`DeliveryPolicy`.  Admissibility property (7) — every message
+sent to a correct process is eventually received — is realized by giving the
+shipped policies a *fairness aging* rule: once a message has been passed over
+often enough it is delivered with certainty.
+
+Policies draw randomness from a per-destination stream and measure message
+age in the destination's local step count, never from global state.  This
+makes a process's behaviour a function of its own observation sequence, which
+the partition adversary of Theorem 7.1 exploits (indistinguishable runs must
+stay indistinguishable in the simulator, too).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Message:
+    """A unique in-flight message ``(sender, payload, dest)``."""
+
+    sender: int
+    dest: int
+    payload: Any
+    uid: Tuple[int, int]  # (sender, per-sender sequence number)
+    sent_at: int  # global time at which the send step occurred
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.sender}->{self.dest} #{self.uid[1]} "
+            f"@{self.sent_at}: {self.payload!r})"
+        )
+
+
+@dataclass
+class _PendingEntry:
+    message: Message
+    # Number of steps the destination has taken since this message became
+    # pending; the aging counter used by fairness rules.
+    age_in_dest_steps: int = 0
+
+
+class MessageBuffer:
+    """The message buffer ``M``, with per-destination pending queues."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, List[_PendingEntry]] = {}
+        self._seq: Dict[int, int] = {}
+        self._sent_count = 0
+        self._delivered_count = 0
+        self._superseded_count = 0
+
+    # ------------------------------------------------------------------
+    # Sending and receiving
+    # ------------------------------------------------------------------
+
+    def send(self, sender: int, dest: int, payload: Any, now: int) -> Message:
+        """Place a new unique message in the buffer and return it."""
+        seq = self._seq.get(sender, 0)
+        self._seq[sender] = seq + 1
+        message = Message(sender, dest, payload, uid=(sender, seq), sent_at=now)
+        self._pending.setdefault(dest, []).append(_PendingEntry(message))
+        self._sent_count += 1
+        return message
+
+    def pending_for(self, dest: int) -> List[Message]:
+        """Pending messages addressed to ``dest``, oldest first."""
+        return [entry.message for entry in self._pending.get(dest, [])]
+
+    def has_pending(self, dest: int) -> bool:
+        return bool(self._pending.get(dest))
+
+    def deliver(self, message: Message) -> None:
+        """Remove ``message`` from the buffer (it is being received)."""
+        entries = self._pending.get(message.dest, [])
+        for i, entry in enumerate(entries):
+            if entry.message.uid == message.uid:
+                del entries[i]
+                self._delivered_count += 1
+                return
+        raise LookupError(f"{message!r} is not pending")
+
+    def supersede(self, message: Message) -> None:
+        """Remove ``message`` as superseded by a newer equivalent.
+
+        Counted separately from deliveries; semantically the message is
+        received immediately after the message that subsumes it, where it
+        changes nothing."""
+        entries = self._pending.get(message.dest, [])
+        for i, entry in enumerate(entries):
+            if entry.message.uid == message.uid:
+                del entries[i]
+                self._superseded_count += 1
+                return
+        raise LookupError(f"{message!r} is not pending")
+
+    def note_dest_step(self, dest: int) -> None:
+        """Age every message pending for ``dest`` by one destination step."""
+        for entry in self._pending.get(dest, []):
+            entry.age_in_dest_steps += 1
+
+    def oldest_for(self, dest: int) -> Optional[Message]:
+        entries = self._pending.get(dest, [])
+        return entries[0].message if entries else None
+
+    def entries_for(self, dest: int) -> Sequence[_PendingEntry]:
+        return tuple(self._pending.get(dest, []))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def sent_count(self) -> int:
+        return self._sent_count
+
+    @property
+    def delivered_count(self) -> int:
+        return self._delivered_count
+
+    @property
+    def superseded_count(self) -> int:
+        return self._superseded_count
+
+    @property
+    def in_flight(self) -> int:
+        return sum(len(v) for v in self._pending.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"MessageBuffer(in_flight={self.in_flight}, "
+            f"sent={self._sent_count}, delivered={self._delivered_count})"
+        )
+
+
+class DeliveryPolicy:
+    """Chooses the message (or lambda) a stepping process receives."""
+
+    def choose(
+        self,
+        buffer: MessageBuffer,
+        dest: int,
+        dest_step_index: int,
+        rng: random.Random,
+    ) -> Optional[Message]:
+        """Return a pending message for ``dest``, or ``None`` for lambda.
+
+        ``rng`` is the destination's private random stream and
+        ``dest_step_index`` counts the destination's own steps; policies must
+        not consult any other global state (see module docstring).
+        """
+        raise NotImplementedError
+
+    def ensures_eventual_delivery(self) -> bool:
+        """Whether the policy satisfies admissibility property (7)."""
+        raise NotImplementedError
+
+
+class OldestFirstDelivery(DeliveryPolicy):
+    """Always deliver the oldest pending message (lambda only when empty).
+
+    The canonical schedule construction in the proof of Lemma 4.10 uses
+    exactly this rule.
+    """
+
+    def choose(self, buffer, dest, dest_step_index, rng):
+        return buffer.oldest_for(dest)
+
+    def ensures_eventual_delivery(self) -> bool:
+        return True
+
+
+class FairRandomDelivery(DeliveryPolicy):
+    """Random delivery with an aging bound.
+
+    With probability ``lambda_prob`` the step receives lambda even though
+    messages are pending; otherwise a uniformly random pending message is
+    delivered.  Any message that has been pending for more than ``max_age``
+    of the destination's steps is delivered first, which bounds skew and
+    guarantees property (7) on every admissible run.
+    """
+
+    def __init__(self, lambda_prob: float = 0.25, max_age: int = 40):
+        if not 0.0 <= lambda_prob < 1.0:
+            raise ValueError("lambda_prob must be in [0, 1)")
+        if max_age < 1:
+            raise ValueError("max_age must be >= 1")
+        self.lambda_prob = lambda_prob
+        self.max_age = max_age
+
+    def choose(self, buffer, dest, dest_step_index, rng):
+        entries = buffer.entries_for(dest)
+        if not entries:
+            return None
+        overdue = [e for e in entries if e.age_in_dest_steps >= self.max_age]
+        if overdue:
+            return overdue[0].message
+        if rng.random() < self.lambda_prob:
+            return None
+        return rng.choice(entries).message
+
+    def ensures_eventual_delivery(self) -> bool:
+        return True
+
+
+class PerSenderFifoDelivery(DeliveryPolicy):
+    """Pick a random sender with pending traffic; deliver its oldest message.
+
+    Sender choice uses only the destination's private stream and the set of
+    senders with pending messages, so two runs in which a destination sees
+    the same pending-sender sets make the same choices — the property the
+    Theorem 7.1 adversary relies on.
+    """
+
+    def __init__(self, lambda_prob: float = 0.2, max_age: int = 60):
+        self.lambda_prob = lambda_prob
+        self.max_age = max_age
+
+    def choose(self, buffer, dest, dest_step_index, rng):
+        entries = buffer.entries_for(dest)
+        if not entries:
+            return None
+        overdue = [e for e in entries if e.age_in_dest_steps >= self.max_age]
+        if overdue:
+            return overdue[0].message
+        if rng.random() < self.lambda_prob:
+            return None
+        senders = sorted({e.message.sender for e in entries})
+        sender = rng.choice(senders)
+        for entry in entries:
+            if entry.message.sender == sender:
+                return entry.message
+        raise AssertionError("unreachable: sender chosen from pending set")
+
+    def ensures_eventual_delivery(self) -> bool:
+        return True
+
+
+class BlockingPolicy(DeliveryPolicy):
+    """Wrap a policy, holding back messages matching a predicate.
+
+    Used to build the delayed-link scenarios of Theorem 7.1 (messages across
+    a partition are withheld until a release time) and the contamination
+    scenario of Section 6.3.  ``release_time`` is a global time; messages
+    matching ``blocked`` are invisible to the inner policy before it.
+
+    A blocking policy violates property (7) only if blocked messages to
+    correct processes are never released; scenario drivers always release.
+    """
+
+    def __init__(
+        self,
+        inner: DeliveryPolicy,
+        blocked: Callable[[Message], bool],
+        release_time: Optional[int] = None,
+    ):
+        self.inner = inner
+        self.blocked = blocked
+        self.release_time = release_time
+        self._now = 0
+
+    def set_now(self, now: int) -> None:
+        self._now = now
+
+    def release(self, now: Optional[int] = None) -> None:
+        """Lift the block from now on."""
+        self.release_time = self._now if now is None else now
+
+    def _is_blocked(self, message: Message) -> bool:
+        if self.release_time is not None and self._now >= self.release_time:
+            return False
+        return self.blocked(message)
+
+    def choose(self, buffer, dest, dest_step_index, rng):
+        entries = [
+            e for e in buffer.entries_for(dest) if not self._is_blocked(e.message)
+        ]
+        if not entries:
+            return None
+        view = _FilteredBufferView(entries)
+        return self.inner.choose(view, dest, dest_step_index, rng)  # type: ignore[arg-type]
+
+    def ensures_eventual_delivery(self) -> bool:
+        return self.release_time is not None
+
+
+class _FilteredBufferView:
+    """Duck-typed read-only buffer view over a subset of pending entries."""
+
+    def __init__(self, entries: Sequence[_PendingEntry]):
+        self._entries = tuple(entries)
+
+    def entries_for(self, dest: int) -> Sequence[_PendingEntry]:
+        return self._entries
+
+    def oldest_for(self, dest: int) -> Optional[Message]:
+        return self._entries[0].message if self._entries else None
+
+    def pending_for(self, dest: int) -> List[Message]:
+        return [e.message for e in self._entries]
+
+
+class CoalescingDelivery(DeliveryPolicy):
+    """Supersede stale *coalescible* messages by newer ones from the sender.
+
+    The DAG-building algorithms broadcast their entire (monotonically
+    growing) DAG at every step, which floods destinations faster than the
+    one-receive-per-step model can drain.  Because a sender's later DAG
+    contains all of its earlier ones, any schedule that delivers a newer DAG
+    first turns the older deliveries into no-ops; this policy realizes the
+    equivalent admissible run directly by dropping, per sender, every pending
+    coalescible message older than the newest one (they are accounted as
+    superseded, i.e. received-with-no-effect immediately after it).
+
+    ``coalescible`` decides which payloads may be superseded (default: DAG
+    payloads, including channel-tagged ``(tag, dag)`` wrappers).  All other
+    traffic is left untouched and handled by ``inner``.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[DeliveryPolicy] = None,
+        coalescible: Optional[Callable[[Any], bool]] = None,
+    ):
+        self.inner = inner if inner is not None else FairRandomDelivery()
+        self.coalescible = (
+            coalescible if coalescible is not None else _default_coalescible
+        )
+
+    def choose(self, buffer, dest, dest_step_index, rng):
+        entries = buffer.entries_for(dest)
+        newest_per_sender: Dict[int, int] = {}
+        for entry in entries:
+            if self.coalescible(entry.message.payload):
+                sender = entry.message.sender
+                seq = entry.message.uid[1]
+                if seq > newest_per_sender.get(sender, -1):
+                    newest_per_sender[sender] = seq
+        for entry in list(entries):
+            message = entry.message
+            if (
+                self.coalescible(message.payload)
+                and message.uid[1] < newest_per_sender.get(message.sender, -1)
+            ):
+                buffer.supersede(message)
+        return self.inner.choose(buffer, dest, dest_step_index, rng)
+
+    def ensures_eventual_delivery(self) -> bool:
+        return self.inner.ensures_eventual_delivery()
+
+
+def _default_coalescible(payload: Any) -> bool:
+    """DAG payloads, possibly wrapped as ``(channel, dag)``."""
+    if _looks_like_dag(payload):
+        return True
+    if (
+        isinstance(payload, tuple)
+        and len(payload) == 2
+        and _looks_like_dag(payload[1])
+    ):
+        return True
+    return False
+
+
+def _looks_like_dag(payload: Any) -> bool:
+    # Duck-typed to avoid a kernel -> core import cycle.
+    return hasattr(payload, "add_local_sample") and hasattr(payload, "frontier")

@@ -1,0 +1,135 @@
+"""Step-selection policies for the live system.
+
+Asynchrony means steps of different processes interleave arbitrarily; an
+admissible run additionally requires every correct process to take infinitely
+many steps (property (6)).  The shipped policies realize this with fairness
+guarantees: round-robin trivially, the random policy through an aging bound.
+
+A scripted policy is provided for crafted scenarios (the contamination run of
+Section 6.3 and the Theorem 7.1 adversary), where the step order *is* the
+argument.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Sequence
+
+
+class SchedulingPolicy:
+    """Chooses which alive process takes the next step."""
+
+    def next_process(
+        self, alive: Sequence[int], time: int, rng: random.Random
+    ) -> Optional[int]:
+        """Pick the next process among ``alive`` (sorted), or ``None`` to halt.
+
+        ``alive`` excludes crashed processes; it is never empty unless every
+        process has crashed.
+        """
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(SchedulingPolicy):
+    """Cycle through process ids, skipping crashed processes."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def next_process(self, alive, time, rng):
+        if not alive:
+            return None
+        n = max(alive) + 1
+        for _ in range(n):
+            candidate = self._cursor % n
+            self._cursor += 1
+            if candidate in alive:
+                return candidate
+        return alive[0]
+
+
+class RandomFairScheduler(SchedulingPolicy):
+    """Uniform random choice with an aging bound.
+
+    Any alive process that has not stepped within ``max_gap`` scheduler
+    decisions is chosen first, so property (6) holds on every prefix, not
+    just almost surely.
+    """
+
+    def __init__(self, max_gap: int = 64):
+        if max_gap < 1:
+            raise ValueError("max_gap must be >= 1")
+        self.max_gap = max_gap
+        self._last_scheduled: Dict[int, int] = {}
+        self._decisions = 0
+
+    def next_process(self, alive, time, rng):
+        if not alive:
+            return None
+        self._decisions += 1
+        overdue = [
+            p
+            for p in alive
+            if self._decisions - self._last_scheduled.get(p, 0) > self.max_gap
+        ]
+        choice = overdue[0] if overdue else rng.choice(list(alive))
+        self._last_scheduled[choice] = self._decisions
+        return choice
+
+
+class WeightedScheduler(SchedulingPolicy):
+    """Adversarially-skewed random choice with the same aging bound.
+
+    Some processes step far more often than others (weights), which surfaces
+    interleavings that round-robin never produces.
+    """
+
+    def __init__(self, weights: Dict[int, float], max_gap: int = 128):
+        self.weights = dict(weights)
+        self.max_gap = max_gap
+        self._last_scheduled: Dict[int, int] = {}
+        self._decisions = 0
+
+    def next_process(self, alive, time, rng):
+        if not alive:
+            return None
+        self._decisions += 1
+        overdue = [
+            p
+            for p in alive
+            if self._decisions - self._last_scheduled.get(p, 0) > self.max_gap
+        ]
+        if overdue:
+            choice = overdue[0]
+        else:
+            population = list(alive)
+            weights = [self.weights.get(p, 1.0) for p in population]
+            choice = rng.choices(population, weights=weights, k=1)[0]
+        self._last_scheduled[choice] = self._decisions
+        return choice
+
+
+class ScriptedScheduler(SchedulingPolicy):
+    """Follow an explicit step script, then fall back to another policy.
+
+    Script entries naming crashed processes are skipped (a crashed process
+    takes no steps, whatever the script says).
+    """
+
+    def __init__(
+        self,
+        script: Sequence[int],
+        fallback: Optional[SchedulingPolicy] = None,
+    ):
+        self._script: Iterator[int] = iter(list(script))
+        self._queue: List[int] = list(script)
+        self._pos = 0
+        self.fallback = fallback if fallback is not None else RoundRobinScheduler()
+
+    def next_process(self, alive, time, rng):
+        while self._pos < len(self._queue):
+            candidate = self._queue[self._pos]
+            self._pos += 1
+            if candidate in alive:
+                return candidate
+        return self.fallback.next_process(alive, time, rng)

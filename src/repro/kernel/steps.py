@@ -1,0 +1,158 @@
+"""Steps, schedules and causal precedence (Sections 2.4-2.6).
+
+A step is a tuple ``(p, m, d, A)``; within one algorithm the ``A`` component
+is constant, so :class:`Step` records the process, the received message
+(identified by its unique uid, or ``None`` for lambda) and the failure
+detector value seen.
+
+A schedule is a finite or infinite sequence of steps; we work with finite
+schedules and prefixes of conceptually-infinite ones.  Causal precedence is
+Lamport's happens-before over a schedule: program order plus send/receive
+pairs, closed transitively.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+MessageUid = Tuple[int, int]
+
+
+class Step(NamedTuple):
+    """One step of a schedule: ``(p, m, d)`` with ``m`` a message uid."""
+
+    pid: int
+    msg_uid: Optional[MessageUid]
+    detector_value: Any
+
+
+class Schedule:
+    """A finite schedule: an immutable sequence of steps."""
+
+    __slots__ = ("_steps",)
+
+    def __init__(self, steps: Iterable[Step] = ()):
+        self._steps: Tuple[Step, ...] = tuple(steps)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return Schedule(self._steps[i])
+        return self._steps[i]
+
+    def __iter__(self):
+        return iter(self._steps)
+
+    def prefix(self, length: int) -> "Schedule":
+        """``S[1..length]`` in the paper's notation."""
+        return Schedule(self._steps[:length])
+
+    def append(self, step: Step) -> "Schedule":
+        return Schedule(self._steps + (step,))
+
+    def extend(self, steps: Iterable[Step]) -> "Schedule":
+        return Schedule(self._steps + tuple(steps))
+
+    @property
+    def steps(self) -> Tuple[Step, ...]:
+        return self._steps
+
+    def steps_of(self, pid: int) -> List[int]:
+        """Indices (0-based) of the steps taken by ``pid``."""
+        return [i for i, s in enumerate(self._steps) if s.pid == pid]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self._steps == other._steps
+
+    def __hash__(self) -> int:
+        return hash(self._steps)
+
+    def __repr__(self) -> str:
+        return f"Schedule(len={len(self._steps)})"
+
+
+def participants(schedule: Schedule) -> FrozenSet[int]:
+    """``participants(S)``: processes taking at least one step in ``S``."""
+    return frozenset(s.pid for s in schedule)
+
+
+def causal_edges(
+    schedule: Schedule, send_indices: Dict[MessageUid, int]
+) -> List[Tuple[int, int]]:
+    """Direct causal edges over step indices (0-based).
+
+    ``send_indices`` maps each message uid to the index of the step whose
+    application sent it (obtainable from the pure-system simulator).
+    Program-order edges link consecutive steps of the same process; message
+    edges link each receive to its send.
+    """
+    edges: List[Tuple[int, int]] = []
+    last_step_of: Dict[int, int] = {}
+    for j, step in enumerate(schedule):
+        if step.pid in last_step_of:
+            edges.append((last_step_of[step.pid], j))
+        last_step_of[step.pid] = j
+        if step.msg_uid is not None and step.msg_uid in send_indices:
+            edges.append((send_indices[step.msg_uid], j))
+    return edges
+
+
+def causally_precedes(
+    schedule: Schedule,
+    send_indices: Dict[MessageUid, int],
+    i: int,
+    j: int,
+) -> bool:
+    """Whether step ``i`` causally precedes step ``j`` (0-based indices)."""
+    if i >= j:
+        # Observation 2.1: causal precedence implies i < j.
+        return False
+    succ: Dict[int, List[int]] = {}
+    for a, b in causal_edges(schedule, send_indices):
+        succ.setdefault(a, []).append(b)
+    frontier = [i]
+    seen: Set[int] = set()
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node == j:
+            return True
+        for b in succ.get(node, ()):
+            if b <= j:
+                frontier.append(b)
+    return j in seen
+
+
+def causal_past(
+    schedule: Schedule, send_indices: Dict[MessageUid, int], j: int
+) -> FrozenSet[int]:
+    """All step indices that causally precede step ``j``."""
+    pred: Dict[int, List[int]] = {}
+    for a, b in causal_edges(schedule, send_indices):
+        pred.setdefault(b, []).append(a)
+    frontier = [j]
+    seen: Set[int] = set()
+    while frontier:
+        node = frontier.pop()
+        for a in pred.get(node, ()):
+            if a not in seen:
+                seen.add(a)
+                frontier.append(a)
+    return frozenset(seen)

@@ -1,0 +1,275 @@
+"""The live system: wiring processes, buffer, detector history and scheduler.
+
+One :class:`System` executes one run of an algorithm using a failure detector
+under a failure pattern.  The global discrete clock ticks once per step, so
+step indices, crash times and detector history times share one time base.
+
+Determinism: a ``(configuration, seed)`` pair fully determines the run.  Each
+process's delivery choices are drawn from its own private stream and depend
+only on its local observation history — a property the Theorem 7.1 partition
+adversary relies on (see :mod:`repro.kernel.messages`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Tuple,
+)
+
+from repro.kernel.automaton import (
+    CoroutineRuntime,
+    DeliveredMessage,
+    Observation,
+    Process,
+    ProcessContext,
+)
+from repro.kernel.failures import FailurePattern
+from repro.kernel.messages import (
+    DeliveryPolicy,
+    FairRandomDelivery,
+    Message,
+    MessageBuffer,
+)
+from repro.kernel.scheduler import RandomFairScheduler, SchedulingPolicy
+
+
+class StepRecord(NamedTuple):
+    """One executed step of the live system."""
+
+    index: int
+    time: int
+    pid: int
+    message: Optional[Message]
+    detector_value: Any
+    sends: Tuple[Message, ...]
+
+
+@dataclass
+class RunResult:
+    """Everything recorded about one finite live run."""
+
+    n: int
+    pattern: FailurePattern
+    steps: List[StepRecord]
+    decisions: Dict[int, Any]
+    decision_times: Dict[int, int]
+    outputs: Dict[int, List[Tuple[int, Any]]]
+    initial_outputs: Dict[int, Any]
+    queried: Dict[int, List[Tuple[int, Any]]]
+    stop_reason: str
+    final_time: int
+    messages_sent: int
+    messages_delivered: int
+
+    @property
+    def step_count(self) -> int:
+        return len(self.steps)
+
+    def decided_correct(self) -> Dict[int, Any]:
+        return {
+            p: v for p, v in self.decisions.items() if p in self.pattern.correct
+        }
+
+    def steps_of(self, pid: int) -> List[StepRecord]:
+        return [s for s in self.steps if s.pid == pid]
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult(steps={len(self.steps)}, decisions={self.decisions}, "
+            f"stop={self.stop_reason!r})"
+        )
+
+
+class HistorySource:
+    """Anything that yields detector values; minimal structural interface."""
+
+    def value(self, p: int, t: int) -> Any:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class System:
+    """Executes one run of coroutine processes under a failure pattern."""
+
+    def __init__(
+        self,
+        processes: Mapping[int, Process],
+        pattern: FailurePattern,
+        history: Any,
+        scheduler: Optional[SchedulingPolicy] = None,
+        delivery: Optional[DeliveryPolicy] = None,
+        seed: int = 0,
+    ):
+        self.n = pattern.n
+        if set(processes) != set(range(self.n)):
+            raise ValueError(
+                f"processes must cover ids 0..{self.n - 1}, got {sorted(processes)}"
+            )
+        self.pattern = pattern
+        self.history = history
+        self.scheduler = scheduler if scheduler is not None else RandomFairScheduler()
+        self.delivery = delivery if delivery is not None else FairRandomDelivery()
+        self.buffer = MessageBuffer()
+        self.time = 0
+        self.steps: List[StepRecord] = []
+        self.contexts: Dict[int, ProcessContext] = {}
+        self.runtimes: Dict[int, CoroutineRuntime] = {}
+        self.queried: Dict[int, List[Tuple[int, Any]]] = {p: [] for p in range(self.n)}
+        self._dest_steps: Dict[int, int] = {p: 0 for p in range(self.n)}
+        self._sched_rng = random.Random(f"{seed}/sched")
+        self._dest_rngs = {
+            p: random.Random(f"{seed}/delivery/{p}") for p in range(self.n)
+        }
+        for pid in range(self.n):
+            ctx = ProcessContext(pid, self.n)
+            process = processes[pid]
+            initial = process.initial_output()
+            if initial is not None:
+                ctx.outputs.append((0, initial))
+            self.contexts[pid] = ctx
+            self.runtimes[pid] = CoroutineRuntime(process, ctx)
+        self._initial_outputs = {
+            p: processes[p].initial_output() for p in range(self.n)
+        }
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+
+    def _history_value(self, p: int, t: int) -> Any:
+        if hasattr(self.history, "value"):
+            return self.history.value(p, t)
+        return self.history(p, t)
+
+    def step(self) -> Optional[StepRecord]:
+        """Execute one step; ``None`` when no process can step."""
+        t = self.time
+        alive = tuple(sorted(self.pattern.alive_at(t)))
+        if not alive:
+            return None
+        if hasattr(self.delivery, "set_now"):
+            self.delivery.set_now(t)
+        pid = self.scheduler.next_process(alive, t, self._sched_rng)
+        if pid is None:
+            return None
+
+        self.buffer.note_dest_step(pid)
+        message = self.delivery.choose(
+            self.buffer, pid, self._dest_steps[pid], self._dest_rngs[pid]
+        )
+        self._dest_steps[pid] += 1
+        if message is not None:
+            self.buffer.deliver(message)
+            delivered = DeliveredMessage(message.sender, message.payload)
+        else:
+            delivered = None
+
+        d = self._history_value(pid, t)
+        self.queried[pid].append((t, d))
+        observation = Observation(message=delivered, detector_value=d, time=t)
+        sends = self.runtimes[pid].step(observation)
+        sent_messages = tuple(
+            self.buffer.send(pid, dest, payload, now=t) for dest, payload in sends
+        )
+        record = StepRecord(
+            index=len(self.steps),
+            time=t,
+            pid=pid,
+            message=message,
+            detector_value=d,
+            sends=sent_messages,
+        )
+        self.steps.append(record)
+        self.time += 1
+        return record
+
+    def run(
+        self,
+        max_steps: int,
+        stop_when: Optional[Callable[["System"], bool]] = None,
+        extra_steps: int = 0,
+    ) -> RunResult:
+        """Step until ``stop_when`` holds (plus ``extra_steps``) or budget ends.
+
+        ``extra_steps`` lets eventual properties (detector completeness,
+        post-decision quiescence) be observed past the stop condition.
+        """
+        reason = "max_steps"
+        budget = max_steps
+        remaining_extra: Optional[int] = None
+        while budget > 0:
+            if remaining_extra is None and stop_when is not None and stop_when(self):
+                if extra_steps <= 0:
+                    reason = "stop_condition"
+                    break
+                remaining_extra = extra_steps
+            if remaining_extra is not None:
+                if remaining_extra <= 0:
+                    reason = "stop_condition"
+                    break
+                remaining_extra -= 1
+            if self.step() is None:
+                reason = "all_crashed"
+                break
+            budget -= 1
+        return self.result(stop_reason=reason)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def result(self, stop_reason: str = "manual") -> RunResult:
+        decisions = {
+            p: ctx.decision
+            for p, ctx in self.contexts.items()
+            if ctx.decision is not None
+        }
+        decision_times = {
+            p: ctx.decision_time
+            for p, ctx in self.contexts.items()
+            if ctx.decision_time is not None
+        }
+        outputs = {p: list(ctx.outputs) for p, ctx in self.contexts.items()}
+        return RunResult(
+            n=self.n,
+            pattern=self.pattern,
+            steps=list(self.steps),
+            decisions=decisions,
+            decision_times=decision_times,
+            outputs=outputs,
+            initial_outputs=dict(self._initial_outputs),
+            queried={p: list(v) for p, v in self.queried.items()},
+            stop_reason=stop_reason,
+            final_time=self.time,
+            messages_sent=self.buffer.sent_count,
+            messages_delivered=self.buffer.delivered_count,
+        )
+
+    # ------------------------------------------------------------------
+    # Common stop conditions
+    # ------------------------------------------------------------------
+
+    def all_correct_decided(self) -> bool:
+        return all(
+            self.contexts[p].decision is not None for p in self.pattern.correct
+        )
+
+    def correct_output_count(self, minimum: int) -> bool:
+        """Every correct process has assigned its output at least ``minimum``
+        times (excluding the initial value)."""
+        return all(
+            len(self.contexts[p].outputs) >= minimum for p in self.pattern.correct
+        )
+
+
+def all_correct_decided(system: System) -> bool:
+    """Module-level stop condition mirroring :meth:`System.all_correct_decided`."""
+    return system.all_correct_decided()

@@ -1,0 +1,39 @@
+"""Quorum-replicated registers — the technique the paper contrasts with.
+
+Delporte-Gallet, Fauconnier and Guerraoui [3] proved (Ω, Σ) weakest for
+*uniform* consensus via registers: Σ's uniformly intersecting quorums
+implement atomic registers (ABD-style), and registers plus Ω give
+consensus.  The introduction of our paper highlights exactly why that route
+fails for the nonuniform problem: "nonuniform consensus is not strong
+enough to implement registers", and neither is Σν — quorums at faulty
+processes need not intersect anything, so a write acknowledged by a faulty
+client's quorum can be lost entirely.
+
+This package makes both sides executable:
+
+* :class:`RegisterServer` / :class:`RegisterClient` — the ABD emulation
+  over a quorum detector (two-phase reads with write-back);
+* validity checkers for register runs (:mod:`repro.registers.properties`);
+* the Σν counterexample: a run in which a faulty writer's acknowledged
+  write is invisible to every later read
+  (:func:`repro.registers.counterexample.run_lost_write_scenario`).
+"""
+
+from repro.registers.abd import RegisterClient, RegisterServer, RegisterHarness
+from repro.registers.counterexample import LostWriteReport, run_lost_write_scenario
+from repro.registers.properties import (
+    OperationRecord,
+    RegisterReport,
+    check_register_safety,
+)
+
+__all__ = [
+    "LostWriteReport",
+    "OperationRecord",
+    "RegisterClient",
+    "RegisterHarness",
+    "RegisterReport",
+    "RegisterServer",
+    "check_register_safety",
+    "run_lost_write_scenario",
+]

@@ -1,0 +1,204 @@
+"""ABD-style quorum-replicated register over a quorum failure detector.
+
+Attiya-Bar-Noy-Dolev emulation, with majorities generalized to the quorums
+output by a detector module (re-read at every step, like the consensus
+algorithms' waits):
+
+* **write(v)** — query a quorum for timestamps; write ``(max+1, v)`` to a
+  quorum (tiebreak by writer id);
+* **read()** — query a quorum, pick the largest timestamped pair,
+  *write it back* to a quorum, return it.
+
+Every process hosts a *server* (the replica, answering queries and storing
+writes — implemented as upon-receipt handlers so it serves within any step)
+and a *client* executing a scripted sequence of operations.
+
+With Σ (uniform intersection) the emulation is atomic — any write quorum
+intersects any later read quorum.  With Σν the intersection guarantee only
+covers correct processes: a *faulty* client's acknowledged write may be
+invisible to later readers (see :mod:`repro.registers.counterexample`),
+which is exactly why the register route of Delporte et al. cannot carry the
+nonuniform result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, Sequence, Tuple
+
+from repro.kernel.automaton import DeliveredMessage, Process, ProcessContext
+from repro.registers.properties import OperationRecord
+
+RQ = "RQ"  # (RQ, opid)                 query a replica
+RRESP = "RRESP"  # (RRESP, opid, ts, value)  replica's answer
+WR = "WR"  # (WR, opid, ts, value)     store at a replica
+WACK = "WACK"  # (WACK, opid)              store acknowledged
+
+Timestamp = Tuple[int, int]  # (counter, writer pid): totally ordered
+
+_INITIAL_TS: Timestamp = (0, -1)
+_INITIAL_VALUE = None
+
+
+class RegisterServer:
+    """The replica role: one register copy, served via message handlers."""
+
+    def __init__(self, ctx: ProcessContext):
+        self.ctx = ctx
+        self.ts: Timestamp = _INITIAL_TS
+        self.value: Any = _INITIAL_VALUE
+        ctx.add_handler(self._handle)
+
+    def _handle(self, message: DeliveredMessage) -> bool:
+        payload = message.payload
+        tag = payload[0]
+        if tag == RQ:
+            _, opid = payload
+            self.ctx.send(message.sender, (RRESP, opid, self.ts, self.value))
+            return True
+        if tag == WR:
+            _, opid, ts, value = payload
+            if ts > self.ts:
+                self.ts, self.value = ts, value
+            self.ctx.send(message.sender, (WACK, opid))
+            return True
+        return False
+
+
+class RegisterClient(Process):
+    """Executes a script of register operations; records their outcomes.
+
+    ``script`` entries: ``("write", value)`` or ``("read",)``.  The quorum
+    used by each wait is the detector's *current* output, re-read each step.
+    """
+
+    def __init__(self, script: Sequence[Tuple]):
+        self.script = list(script)
+        for op in self.script:
+            if not op or op[0] not in ("read", "write"):
+                raise ValueError(f"unknown register operation {op!r}")
+            if op[0] == "write" and len(op) != 2:
+                raise ValueError(f"write takes exactly one value: {op!r}")
+        self.records: List[OperationRecord] = []
+        # invocations, including operations cut short by a crash — the
+        # safety checker needs to know which writes *may* have taken effect
+        self.attempts: List[Tuple[int, str, Any]] = []
+
+    def program(self, ctx: ProcessContext) -> Generator:
+        server = RegisterServer(ctx)  # the replica rides along
+        self.server = server
+        op_seq = 0
+
+        def matching(tag: str, opid) -> dict:
+            found = {}
+            for m in ctx.log:
+                if m.payload[0] == tag and m.payload[1] == opid:
+                    found.setdefault(m.sender, m)
+            return found
+
+        def quorum_wait(tag: str, opid):
+            """Steps until the current quorum has answered; returns answers.
+
+            Checks before stepping (the caller has already taken the step
+            that shipped the request), then steps between re-checks.
+            """
+            while True:
+                quorum = frozenset(ctx.detector_value)
+                answers = matching(tag, opid)
+                if quorum and quorum <= set(answers):
+                    return {q: answers[q] for q in quorum}
+                yield from ctx.take_step()
+
+        for kind, *args in self.script:
+            op_seq += 1
+            opid = (ctx.pid, op_seq)
+
+            # Phase 1: collect timestamps from a quorum.  The operation
+            # *invokes* at the step that ships the queries (queued sends
+            # only leave with a step).
+            ctx.send_to_all((RQ, opid))
+            yield from ctx.take_step()
+            invoked_at = ctx.time
+            self.attempts.append(
+                (ctx.pid, kind, args[0] if kind == "write" else None)
+            )
+            answers = yield from quorum_wait(RRESP, opid)
+            best_ts, best_value = max(
+                ((m.payload[2], m.payload[3]) for m in answers.values()),
+                key=lambda pair: pair[0],
+            )
+
+            if kind == "write":
+                value = args[0]
+                ts: Timestamp = (best_ts[0] + 1, ctx.pid)
+            else:  # "read" — the script was validated at construction
+                value, ts = best_value, best_ts
+
+            # Phase 2: store (write) / write back (read) to a quorum.
+            wr_opid = (ctx.pid, op_seq + 10**6)  # distinct id for phase 2
+            ctx.send_to_all((WR, wr_opid, ts, value))
+            yield from ctx.take_step()
+            yield from quorum_wait(WACK, wr_opid)
+
+            self.records.append(
+                OperationRecord(
+                    pid=ctx.pid,
+                    kind=kind,
+                    value=value,
+                    ts=ts,
+                    invoked_at=invoked_at,
+                    responded_at=ctx.time,
+                )
+            )
+
+        while True:  # script done; keep serving as a replica
+            yield from ctx.take_step()
+
+
+@dataclass
+class RegisterHarness:
+    """Convenience: run scripted clients under a pattern + quorum history."""
+
+    pattern: Any
+    history: Any
+    scripts: dict
+    seed: int = 0
+
+    def run(self, max_steps: int = 20000, system_kwargs: Optional[dict] = None):
+        from repro.kernel.system import System
+
+        processes = {
+            p: RegisterClient(self.scripts.get(p, ()))
+            for p in range(self.pattern.n)
+        }
+        system = System(
+            processes,
+            self.pattern,
+            self.history,
+            seed=self.seed,
+            **(system_kwargs or {}),
+        )
+
+        def all_scripts_done(sys: System) -> bool:
+            return all(
+                len(processes[p].records) >= len(processes[p].script)
+                for p in self.pattern.correct
+            )
+
+        result = system.run(max_steps=max_steps, stop_when=all_scripts_done)
+        records = [r for p in range(self.pattern.n) for r in processes[p].records]
+        records.sort(key=lambda r: r.invoked_at)
+        return result, records, processes
+
+    @staticmethod
+    def incomplete_writes(processes) -> set:
+        """(pid, value) of writes invoked but never completed (crash-cut)."""
+        incomplete = set()
+        for p, proc in processes.items():
+            completed = {
+                (r.pid, r.value) for r in proc.records if r.kind == "write"
+            }
+            for pid, kind, value in proc.attempts:
+                if kind == "write" and (pid, value) not in completed:
+                    incomplete.add((pid, value))
+        return incomplete

@@ -1,0 +1,127 @@
+"""Safety checking for register runs.
+
+The ABD emulation carries explicit timestamps, which makes atomicity
+checkable directly (the standard timestamp argument):
+
+1. **Read validity** — every read returns a pair ``(ts, v)`` that some
+   write actually produced (or the initial pair).
+2. **Write timestamp uniqueness** — no two writes share a timestamp
+   (counter + writer-id tiebreak).
+3. **Real-time order** — if operation ``o1`` responded before ``o2`` was
+   invoked, then ``o2``'s effective timestamp is at least ``o1``'s (strictly
+   greater when ``o2`` is a write): completed writes are visible to later
+   operations, and reads never travel back in time.
+
+Together with the per-replica monotonicity of stored timestamps these are
+the conditions whose standard proof gives linearizability of ABD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+Timestamp = Tuple[int, int]
+
+_INITIAL_TS: Timestamp = (0, -1)
+
+
+@dataclass(frozen=True)
+class OperationRecord:
+    """One completed register operation."""
+
+    pid: int
+    kind: str  # "read" | "write"
+    value: Any
+    ts: Timestamp
+    invoked_at: int
+    responded_at: int
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.kind}@p{self.pid}[{self.invoked_at},{self.responded_at}] "
+            f"ts={self.ts} value={self.value!r}"
+        )
+
+
+@dataclass
+class RegisterReport:
+    """Outcome of checking one register run."""
+
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+    operations: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else "FAIL: " + "; ".join(self.violations[:2])
+        return f"RegisterReport({self.operations} ops, {status})"
+
+
+def check_register_safety(
+    records: Sequence[OperationRecord],
+    incomplete_writes: Optional[set] = None,
+) -> RegisterReport:
+    """Check read validity, write-ts uniqueness and real-time order.
+
+    ``incomplete_writes`` is a set of ``(writer pid, value)`` pairs for
+    writes that were invoked but never completed (the client crashed):
+    linearizability allows such a write to take effect, so reads returning
+    its pair are legal even though no completed record carries it.
+    """
+    incomplete_writes = incomplete_writes or set()
+    report = RegisterReport(ok=True, operations=len(records))
+    writes = [r for r in records if r.kind == "write"]
+    written = {r.ts: r.value for r in writes}
+    written[_INITIAL_TS] = None
+
+    # (1) read validity
+    for r in records:
+        if r.kind == "read":
+            if r.ts not in written:
+                writer = r.ts[1]
+                if (writer, r.value) not in incomplete_writes:
+                    report.ok = False
+                    report.violations.append(
+                        f"read validity: {r!r} returned a never-written "
+                        f"timestamp"
+                    )
+            elif written[r.ts] != r.value:
+                report.ok = False
+                report.violations.append(
+                    f"read validity: {r!r} returned {r.value!r} but ts "
+                    f"{r.ts} wrote {written[r.ts]!r}"
+                )
+
+    # (2) write timestamp uniqueness
+    seen = {}
+    for w in writes:
+        if w.ts in seen:
+            report.ok = False
+            report.violations.append(
+                f"uniqueness: writes {seen[w.ts]!r} and {w!r} share ts {w.ts}"
+            )
+        seen[w.ts] = w
+
+    # (3) real-time order
+    for o1 in records:
+        for o2 in records:
+            if o1 is o2 or o1.responded_at >= o2.invoked_at:
+                continue  # overlapping or wrong order: unconstrained
+            if o2.kind == "write":
+                if not o2.ts > o1.ts:
+                    report.ok = False
+                    report.violations.append(
+                        f"real-time order: {o2!r} follows {o1!r} but its "
+                        f"timestamp does not increase"
+                    )
+            else:
+                if not o2.ts >= o1.ts:
+                    report.ok = False
+                    report.violations.append(
+                        f"real-time order: read {o2!r} follows {o1!r} but "
+                        f"returned an older timestamp (stale read)"
+                    )
+    return report

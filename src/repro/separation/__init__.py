@@ -1,0 +1,19 @@
+"""Section 7: comparing (Omega, Sigma^nu) with (Omega, Sigma), plus the
+Section 6.3 contamination scenario that separates the naive quorum algorithm
+from A_nuc.
+"""
+
+from repro.separation.adversary import AdversaryVerdict, run_partition_adversary
+from repro.separation.contamination import (
+    ContaminationReport,
+    run_contamination_scenario,
+)
+from repro.separation.from_scratch_sigma import FromScratchSigma
+
+__all__ = [
+    "AdversaryVerdict",
+    "ContaminationReport",
+    "FromScratchSigma",
+    "run_contamination_scenario",
+    "run_partition_adversary",
+]

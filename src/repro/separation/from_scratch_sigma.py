@@ -1,0 +1,52 @@
+"""Implementing Sigma from scratch when t < n/2 (Theorem 7.1, IF direction).
+
+The algorithm uses no failure detector at all.  It proceeds in asynchronous
+rounds: initially output Pi; in round ``k`` broadcast ``(k, p)``, wait for
+``n - t`` round-``k`` messages, and output the set of senders as the new
+quorum.
+
+With ``t < n/2`` every quorum is a majority, so any two intersect; since at
+least ``n - t`` processes are correct the waits terminate, and eventually
+only correct processes send, giving completeness.  With ``t >= n/2`` the
+waits still terminate but quorums of ``n - t <= n/2`` processes need not
+intersect — the partition adversary of :mod:`repro.separation.adversary`
+exhibits exactly that failure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.kernel.automaton import Process, ProcessContext
+
+
+class FromScratchSigma(Process):
+    """One process of the detector-free Sigma implementation for E_t."""
+
+    def __init__(self, n: int, t: int):
+        if not 0 <= t < n:
+            raise ValueError(f"need 0 <= t < n, got t={t}, n={n}")
+        self.n = n
+        self.t = t
+
+    def initial_output(self) -> Any:
+        return frozenset(range(self.n))
+
+    def program(self, ctx: ProcessContext) -> Generator:
+        threshold = self.n - self.t
+        k = 0
+        while True:
+            k += 1
+            ctx.send_to_all(("RND", k, ctx.pid))
+            while True:
+                # Count from the full receive log: round-k messages that
+                # arrived early (while we lagged in round k-1) still count.
+                senders = {
+                    m.sender
+                    for m in ctx.log
+                    if m.payload[0] == "RND" and m.payload[1] == k
+                }
+                if len(senders) >= threshold:
+                    break
+                yield from ctx.take_step()
+            ctx.output(frozenset(sorted(senders)[:threshold]))

@@ -1,0 +1,24 @@
+"""State-machine replication on top of the paper's consensus.
+
+The downstream payoff of a consensus building block: a replicated log.
+Each slot of the log is decided by one instance of A_nuc (driven by an
+ambient (Omega, Sigma^nu+) module — or the full (Omega, Sigma^nu) stack's
+booster output); correct replicas apply the decided commands in slot order
+and therefore execute identical state-machine histories, with any number of
+crash failures.
+
+Nonuniform consensus is exactly strong enough for this *among correct
+replicas*: a faulty replica may apply a divergent command before crashing,
+which is harmless to the survivors — the same weakening the paper
+characterizes.
+"""
+
+from repro.smr.replicated_log import ReplicatedLogProcess, run_replicated_log
+from repro.smr.properties import SmrReport, check_smr
+
+__all__ = [
+    "ReplicatedLogProcess",
+    "SmrReport",
+    "check_smr",
+    "run_replicated_log",
+]

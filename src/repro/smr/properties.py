@@ -1,0 +1,78 @@
+"""Correctness of replicated-log runs.
+
+Among *correct* replicas the log must be one shared sequence (per-slot
+nonuniform agreement lifts to log equality), every logged command must have
+been submitted by someone (validity), and no command may occupy two slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class SmrReport:
+    """Outcome of checking one replicated-log run."""
+
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+    log_length: int = 0
+    commands_chosen: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else "FAIL: " + "; ".join(self.violations[:2])
+        return f"SmrReport(len={self.log_length}, {status})"
+
+
+def check_smr(pattern, processes, submitted: Dict[int, Sequence]) -> SmrReport:
+    """Check log agreement, validity and no-duplication for a finished run."""
+    report = SmrReport(ok=True)
+    correct = sorted(pattern.correct)
+    logs = {p: list(processes[p].log) for p in correct}
+    if not logs:
+        return report
+
+    # Agreement: all correct logs equal (prefix equality for stragglers).
+    reference_pid = max(logs, key=lambda p: len(logs[p]))
+    reference = logs[reference_pid]
+    report.log_length = len(reference)
+    for p, log in logs.items():
+        if log != reference[: len(log)]:
+            report.ok = False
+            report.violations.append(
+                f"agreement: log of p{p} {log} is not a prefix of "
+                f"p{reference_pid}'s {reference}"
+            )
+
+    # Validity: every non-noop entry was submitted by its tagged origin.
+    allowed = {c for cmds in submitted.values() for c in cmds}
+    for i, entry in enumerate(reference):
+        if entry is None or entry[0] == "noop":
+            continue
+        if entry not in allowed:
+            report.ok = False
+            report.violations.append(
+                f"validity: slot {i} holds unsubmitted command {entry!r}"
+            )
+
+    # No duplication: each command at most once.
+    non_noop = [e for e in reference if e is not None and e[0] != "noop"]
+    report.commands_chosen = len(non_noop)
+    if len(set(non_noop)) != len(non_noop):
+        report.ok = False
+        report.violations.append("duplication: a command occupies two slots")
+
+    # Applied state machines mirror the logs.
+    for p in correct:
+        expected = [e for e in logs[p] if e is not None and e[0] != "noop"]
+        if processes[p].applied != expected:
+            report.ok = False
+            report.violations.append(
+                f"application: p{p} applied {processes[p].applied} but "
+                f"logged {expected}"
+            )
+    return report

@@ -1,0 +1,184 @@
+"""A replicated log: one A_nuc instance per slot.
+
+Each process runs consensus instances sequentially; slot ``i``'s instance
+starts once slot ``i-1`` is decided locally.  Messages are tagged with
+their slot; messages for future slots are stashed and replayed when the
+slot opens.  Because a replica that finishes a slot stops serving that
+instance, deciders broadcast a ``DECIDED`` notice that lets laggards
+short-circuit the slot — safe for *nonuniform* consensus: adopting a value
+decided by (in particular) the eventual correct leader preserves agreement
+among correct replicas, and the notice carries a proposed value, so
+validity is preserved too.
+
+Proposals: each replica proposes its oldest own command not yet in its log
+(or ``("noop", pid)`` when exhausted).  Commands are tagged with their
+origin, so distinct replicas never contend with equal commands and a chosen
+command is never re-proposed.
+
+Being leader-based, the chosen values track the eventual leader's
+proposals; commands submitted at other replicas need client-to-leader
+forwarding to be *live*, which this minimal layer deliberately omits — its
+claims are the safety ones (`repro.smr.properties`): log agreement among
+correct replicas, validity, no duplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.core.nuc import AnucProcess
+from repro.kernel.automaton import (
+    CoroutineRuntime,
+    DeliveredMessage,
+    Observation,
+    Process,
+    ProcessContext,
+)
+
+SLOT = "S"  # (S, slot, inner_payload): one consensus instance's traffic
+DECIDED = "DEC"  # (DEC, slot, value): decider's short-circuit notice
+
+Command = Tuple  # e.g. ("append", pid, k) or ("noop", pid)
+
+
+class ReplicatedLogProcess(Process):
+    """One replica: sequential A_nuc instances building a shared log."""
+
+    def __init__(self, commands: Sequence[Command], slots: int):
+        self.commands = list(commands)
+        self.slots = slots
+        self.log: List[Optional[Command]] = []
+        self.applied: List[Command] = []  # the state machine history
+
+    def program(self, ctx: ProcessContext) -> Generator:
+        stashed: Dict[int, List[DeliveredMessage]] = {}
+        decided_notices: Dict[int, Any] = {}
+
+        def outer_handler(message: DeliveredMessage) -> bool:
+            payload = message.payload
+            if payload[0] == DECIDED:
+                _, slot, value = payload
+                decided_notices.setdefault(slot, value)
+                return True
+            return False
+
+        ctx.add_handler(outer_handler)
+
+        for slot in range(self.slots):
+            proposal = self._next_proposal()
+            inner_ctx = ProcessContext(ctx.pid, ctx.n)
+            inner = AnucProcess(proposal)
+            runtime = CoroutineRuntime(inner, inner_ctx)
+            replay = list(stashed.pop(slot, ()))
+
+            while True:
+                if slot in decided_notices:
+                    value = decided_notices[slot]
+                    break
+                if replay:
+                    message: Optional[DeliveredMessage] = replay.pop(0)
+                    obs_time = ctx.time
+                    d = ctx.detector_value
+                    if d is None:
+                        # No real step taken yet: take one to get a value.
+                        obs = yield from ctx.take_step()
+                        d = obs.detector_value
+                        obs_time = obs.time
+                        if obs.message is not None:
+                            self._route(obs.message, slot, replay, stashed)
+                else:
+                    obs = yield from ctx.take_step()
+                    d = obs.detector_value
+                    obs_time = obs.time
+                    message = None
+                    if obs.message is not None:
+                        message = self._route(obs.message, slot, replay, stashed)
+                if slot in decided_notices:
+                    value = decided_notices[slot]
+                    break
+                sends = runtime.step(
+                    Observation(message=message, detector_value=d, time=obs_time)
+                )
+                for dest, payload in sends:
+                    ctx.send(dest, (SLOT, slot, payload))
+                if inner_ctx.decision is not None:
+                    value = inner_ctx.decision
+                    ctx.send_to_all((DECIDED, slot, value))
+                    break
+
+            decided_notices.setdefault(slot, value)
+            self.log.append(value)
+            if value is not None and value[0] != "noop":
+                self.applied.append(value)
+
+        while True:  # all slots decided; stay alive, serving DECIDED notices
+            obs = yield from ctx.take_step()
+            if obs.message is not None and obs.message.payload[0] == SLOT:
+                _, slot, _inner = obs.message.payload
+                if slot in decided_notices:
+                    ctx.send(
+                        obs.message.sender, (DECIDED, slot, decided_notices[slot])
+                    )
+
+    # ------------------------------------------------------------------
+
+    def _next_proposal(self) -> Command:
+        chosen = set(self.log)
+        for command in self.commands:
+            if command not in chosen:
+                return command
+        return ("noop", -1)
+
+    def _route(
+        self,
+        message: DeliveredMessage,
+        current_slot: int,
+        replay: List[DeliveredMessage],
+        stashed: Dict[int, List[DeliveredMessage]],
+    ) -> Optional[DeliveredMessage]:
+        """Unwrap a SLOT message for the current instance or stash it."""
+        payload = message.payload
+        if payload[0] != SLOT:
+            return None
+        _, slot, inner = payload
+        unwrapped = DeliveredMessage(message.sender, inner)
+        if slot == current_slot:
+            return unwrapped
+        if slot > current_slot:
+            stashed.setdefault(slot, []).append(unwrapped)
+        # Past-slot traffic: answered by the post-loop server (or dropped
+        # here — the DECIDED notice is the catch-all for laggards).
+        return None
+
+
+def run_replicated_log(
+    pattern,
+    commands_per_process: Dict[int, Sequence[Command]],
+    slots: int,
+    seed: int = 0,
+    max_steps: int = 120000,
+    detector=None,
+):
+    """Run a full replicated-log system; returns (result, processes)."""
+    import random as _random
+
+    from repro.detectors import Omega, PairedDetector, SigmaNuPlus
+    from repro.kernel.system import System
+
+    if detector is None:
+        detector = PairedDetector(Omega(), SigmaNuPlus())
+    history = detector.sample_history(pattern, _random.Random(seed + 777))
+    processes = {
+        p: ReplicatedLogProcess(commands_per_process.get(p, ()), slots)
+        for p in range(pattern.n)
+    }
+    system = System(processes, pattern, history, seed=seed)
+
+    def all_logs_full(sys) -> bool:
+        return all(
+            len(processes[p].log) >= slots for p in pattern.correct
+        )
+
+    result = system.run(max_steps=max_steps, stop_when=all_logs_full)
+    return result, processes

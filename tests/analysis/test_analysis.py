@@ -1,0 +1,118 @@
+"""Tables, summaries and run metrics."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import collect_metrics
+from repro.analysis.stats import Summary, rate, summarize
+from repro.analysis.tables import Table
+
+
+class TestTable:
+    def test_render_contains_title_columns_rows(self):
+        table = Table("My results", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", frozenset({3, 1}))
+        text = table.render()
+        assert "My results" in text
+        assert "a" in text and "b" in text
+        assert "2.50" in text
+        assert "{1,3}" in text
+
+    def test_bools_render_yes_no(self):
+        table = Table("t", ["ok"])
+        table.add_row(True)
+        table.add_row(False)
+        assert "yes" in table.render()
+        assert "no" in table.render()
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_notes_render(self):
+        table = Table("t", ["a"])
+        table.add_note("caveat emptor")
+        assert "note: caveat emptor" in table.render()
+
+    def test_markdown_shape(self):
+        table = Table("t", ["col1", "col2"])
+        table.add_row(1, 2)
+        md = table.to_markdown()
+        assert "| col1 | col2 |" in md
+        assert "| 1 | 2 |" in md
+
+
+class TestSummaries:
+    def test_summarize_basic(self):
+        s = summarize([1, 2, 3, 4])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1 and s.maximum == 4
+        assert s.median == 2.5
+
+    def test_summarize_odd_median(self):
+        assert summarize([5, 1, 3]).median == 3
+
+    def test_summarize_empty_is_nan(self):
+        s = summarize([])
+        assert s.count == 0
+        assert math.isnan(s.mean)
+
+    def test_std(self):
+        s = summarize([2, 2, 2])
+        assert s.std == 0.0
+
+    def test_rate(self):
+        assert rate(3, 4) == 0.75
+        assert math.isnan(rate(0, 0))
+
+
+class TestRunMetrics:
+    def test_collect_from_real_run(self):
+        import random
+
+        from repro.harness.runner import random_binary_proposals, run_nuc
+        from repro.kernel.failures import FailurePattern
+
+        pattern = FailurePattern(3, {2: 10})
+        proposals = random_binary_proposals(3, random.Random(0))
+        outcome = run_nuc(pattern, proposals, seed=0)
+        metrics = outcome.metrics
+        assert metrics.steps > 0
+        assert metrics.decided_correct == 2
+        assert metrics.correct_count == 2
+        assert metrics.all_correct_decided
+        assert metrics.first_decision_time <= metrics.last_decision_time
+        assert metrics.messages_per_step > 0
+
+
+class TestMessageBreakdown:
+    def test_stack_breakdown_unwraps_channels(self):
+        import random
+
+        from repro.analysis.metrics import message_breakdown
+        from repro.harness.runner import run_stack
+        from repro.kernel.failures import FailurePattern
+
+        pattern = FailurePattern(2, {})
+        outcome = run_stack(pattern, {0: "a", 1: "a"}, seed=1)
+        counts = message_breakdown(outcome.result)
+        assert counts.get("DAG", 0) > 0  # booster traffic
+        assert counts.get("LEAD", 0) > 0  # A_nuc traffic
+        assert counts.get("REP", 0) > 0
+
+    def test_anuc_breakdown_tags(self):
+        import random
+
+        from repro.analysis.metrics import message_breakdown
+        from repro.harness.runner import run_nuc
+        from repro.kernel.failures import FailurePattern
+
+        pattern = FailurePattern(3, {})
+        outcome = run_nuc(pattern, {p: "x" for p in range(3)}, seed=2)
+        counts = message_breakdown(outcome.result)
+        for tag in ("LEAD", "REP", "PROP", "SAW", "ACK"):
+            assert counts.get(tag, 0) > 0, counts

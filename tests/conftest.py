@@ -1,0 +1,45 @@
+"""Shared helpers and fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.kernel.automaton import AutomatonProcess
+from repro.kernel.failures import FailurePattern
+from repro.kernel.system import System
+
+
+def make_rng(seed) -> random.Random:
+    return random.Random(repr(seed))
+
+
+def run_live_consensus(
+    automaton,
+    detector,
+    pattern,
+    proposals,
+    seed=0,
+    max_steps=20000,
+    **system_kwargs,
+):
+    """Run a pure-automaton consensus algorithm to all-correct decision."""
+    history = detector.sample_history(pattern, make_rng(("h", seed)))
+    processes = {
+        p: AutomatonProcess(automaton, proposals[p]) for p in range(pattern.n)
+    }
+    system = System(processes, pattern, history, seed=seed, **system_kwargs)
+    return system.run(
+        max_steps=max_steps, stop_when=lambda s: s.all_correct_decided()
+    )
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_pattern():
+    return FailurePattern(4, {3: 12})

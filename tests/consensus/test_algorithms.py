@@ -1,0 +1,146 @@
+"""Live sweeps of the baseline consensus algorithms.
+
+MR (Omega, majority correct), quorum-MR ((Omega, Sigma), any environment,
+*uniform*) and FloodSet (P, any environment).  Each sweep checks
+termination, validity and the appropriate agreement flavour via the
+independent verifiers.
+"""
+
+import random
+
+import pytest
+
+from repro.consensus import (
+    FloodSetPerfect,
+    MostefaouiRaynal,
+    QuorumMR,
+    check_nonuniform_consensus,
+    check_uniform_consensus,
+    consensus_outcome,
+)
+from repro.detectors import Omega, PairedDetector, Perfect, Sigma
+from repro.kernel.failures import FailurePattern
+from repro.kernel.scheduler import RoundRobinScheduler, WeightedScheduler
+
+from tests.conftest import run_live_consensus
+
+
+def sweep_patterns(n, seed, majority_only=False, count=4):
+    rng = random.Random(f"sweep/{n}/{seed}")
+    bound = (n - 1) // 2 if majority_only else n - 1
+    for _ in range(count):
+        crashed = rng.sample(range(n), rng.randint(0, bound))
+        yield FailurePattern(n, {p: rng.randint(0, 50) for p in crashed})
+
+
+def proposals_for(n, seed):
+    rng = random.Random(f"props/{n}/{seed}")
+    return {p: rng.choice(["red", "blue"]) for p in range(n)}
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+@pytest.mark.parametrize("seed", [0, 1])
+class TestMostefaouiRaynal:
+    def test_uniform_consensus_with_correct_majority(self, n, seed):
+        for pattern in sweep_patterns(n, seed, majority_only=True):
+            proposals = proposals_for(n, seed)
+            result = run_live_consensus(
+                MostefaouiRaynal(), Omega(), pattern, proposals, seed=seed
+            )
+            assert result.stop_reason == "stop_condition", pattern
+            outcome = consensus_outcome(result, proposals)
+            assert check_uniform_consensus(outcome).ok, pattern
+
+
+@pytest.mark.parametrize("n", [2, 3, 5])
+@pytest.mark.parametrize("seed", [0, 1])
+class TestQuorumMR:
+    def test_uniform_consensus_in_any_environment(self, n, seed):
+        """Footnote 5: (Omega, Sigma) + quorum-MR solves uniform consensus
+        regardless of the number of failures."""
+        detector = PairedDetector(Omega(), Sigma("pivot"))
+        for pattern in sweep_patterns(n, seed):
+            proposals = proposals_for(n, seed)
+            result = run_live_consensus(
+                QuorumMR(), detector, pattern, proposals, seed=seed
+            )
+            assert result.stop_reason == "stop_condition", pattern
+            outcome = consensus_outcome(result, proposals)
+            assert check_uniform_consensus(outcome).ok, pattern
+
+    def test_all_sigma_strategies(self, n, seed):
+        for strategy in ("pivot", "full", "majority"):
+            detector = PairedDetector(Omega(), Sigma(strategy))
+            pattern = next(iter(sweep_patterns(n, seed)))
+            proposals = proposals_for(n, seed)
+            result = run_live_consensus(
+                QuorumMR(), detector, pattern, proposals, seed=seed
+            )
+            outcome = consensus_outcome(result, proposals)
+            assert check_uniform_consensus(outcome).ok, (strategy, pattern)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+@pytest.mark.parametrize("seed", [0, 1])
+class TestFloodSetPerfect:
+    def test_consensus_with_up_to_n_minus_1_crashes(self, n, seed):
+        for pattern in sweep_patterns(n, seed):
+            proposals = proposals_for(n, seed)
+            result = run_live_consensus(
+                FloodSetPerfect(), Perfect(lag=4), pattern, proposals, seed=seed
+            )
+            assert result.stop_reason == "stop_condition", pattern
+            outcome = consensus_outcome(result, proposals)
+            assert check_uniform_consensus(outcome).ok, pattern
+
+
+class TestSchedulerRobustness:
+    """The algorithms must tolerate adversarially skewed step interleavings."""
+
+    def test_quorum_mr_under_weighted_scheduler(self):
+        pattern = FailurePattern(4, {0: 15})
+        proposals = proposals_for(4, 9)
+        detector = PairedDetector(Omega(), Sigma("pivot"))
+        result = run_live_consensus(
+            QuorumMR(),
+            detector,
+            pattern,
+            proposals,
+            seed=9,
+            scheduler=WeightedScheduler({1: 50.0, 2: 1.0, 3: 1.0}),
+        )
+        outcome = consensus_outcome(result, proposals)
+        assert check_uniform_consensus(outcome).ok
+
+    def test_mr_under_round_robin(self):
+        pattern = FailurePattern(3, {2: 8})
+        proposals = proposals_for(3, 2)
+        result = run_live_consensus(
+            MostefaouiRaynal(),
+            Omega(),
+            pattern,
+            proposals,
+            seed=2,
+            scheduler=RoundRobinScheduler(),
+        )
+        outcome = consensus_outcome(result, proposals)
+        assert check_uniform_consensus(outcome).ok
+
+
+class TestDecisionStability:
+    def test_decisions_do_not_change_after_more_steps(self):
+        pattern = FailurePattern(3, {1: 10})
+        proposals = proposals_for(3, 4)
+        detector = PairedDetector(Omega(), Sigma("pivot"))
+        history = detector.sample_history(pattern, random.Random(4))
+        from repro.kernel.automaton import AutomatonProcess
+        from repro.kernel.system import System
+
+        processes = {
+            p: AutomatonProcess(QuorumMR(), proposals[p]) for p in range(3)
+        }
+        system = System(processes, pattern, history, seed=4)
+        system.run(max_steps=20000, stop_when=lambda s: s.all_correct_decided())
+        first = dict(system.result().decisions)
+        system.run(max_steps=500)
+        assert {p: v for p, v in system.result().decisions.items() if p in first} == first

@@ -1,0 +1,84 @@
+"""The Chandra-Toueg <>S rotating-coordinator algorithm [2]."""
+
+import random
+
+import pytest
+
+from repro.consensus import (
+    ChandraTouegS,
+    check_uniform_consensus,
+    consensus_outcome,
+)
+from repro.detectors import EventuallyPerfect, Perfect
+from repro.kernel.failures import FailurePattern
+from repro.kernel.scheduler import WeightedScheduler
+
+from tests.conftest import run_live_consensus
+
+
+def majority_pattern(n, seed):
+    rng = random.Random(f"ct/{n}/{seed}")
+    t = (n - 1) // 2
+    crashed = rng.sample(range(n), rng.randint(0, t))
+    return FailurePattern(n, {p: rng.randint(0, 50) for p in crashed})
+
+
+@pytest.mark.parametrize("n", [3, 4, 5, 7])
+@pytest.mark.parametrize("seed", [0, 1])
+class TestChandraTouegSweep:
+    def test_uniform_consensus_with_correct_majority(self, n, seed):
+        pattern = majority_pattern(n, seed)
+        proposals = {p: random.Random(seed + p).choice(["a", "b"]) for p in range(n)}
+        result = run_live_consensus(
+            ChandraTouegS(), EventuallyPerfect(), pattern, proposals, seed=seed
+        )
+        assert result.stop_reason == "stop_condition", pattern
+        outcome = consensus_outcome(result, proposals)
+        assert check_uniform_consensus(outcome).ok, pattern
+
+
+class TestChandraTouegBehaviour:
+    def test_with_perfect_detector_too(self):
+        """P is a fortiori <>S; the algorithm must also run under it."""
+        pattern = FailurePattern(5, {0: 10, 4: 25})
+        proposals = {p: p % 2 for p in range(5)}
+        result = run_live_consensus(
+            ChandraTouegS(), Perfect(lag=3), pattern, proposals, seed=3
+        )
+        outcome = consensus_outcome(result, proposals)
+        assert check_uniform_consensus(outcome).ok
+
+    def test_crashed_coordinator_is_rotated_past(self):
+        """Round 1's coordinator (process 1) is dead from the start; the
+        suspicion path must carry everyone to later rounds and a decision."""
+        pattern = FailurePattern(3, {1: 0})
+        proposals = {0: "left", 1: "mid", 2: "right"}
+        result = run_live_consensus(
+            ChandraTouegS(), EventuallyPerfect(stabilization_slack=5),
+            pattern, proposals, seed=7,
+        )
+        assert set(result.decided_correct()) == {0, 2}
+        outcome = consensus_outcome(result, proposals)
+        assert check_uniform_consensus(outcome).ok
+
+    def test_decide_broadcast_reaches_laggards(self):
+        """A starved process must still decide through the DECIDE relay."""
+        pattern = FailurePattern(4, {})
+        proposals = {p: "z" for p in range(4)}
+        result = run_live_consensus(
+            ChandraTouegS(),
+            EventuallyPerfect(),
+            pattern,
+            proposals,
+            seed=8,
+            scheduler=WeightedScheduler({3: 0.05}, max_gap=200),
+        )
+        assert result.decisions.get(3) == "z"
+
+    def test_decided_value_was_some_proposal(self):
+        pattern = FailurePattern(3, {})
+        proposals = {0: "p0", 1: "p1", 2: "p2"}
+        result = run_live_consensus(
+            ChandraTouegS(), EventuallyPerfect(), pattern, proposals, seed=9
+        )
+        assert set(result.decisions.values()) <= set(proposals.values())

@@ -1,0 +1,190 @@
+"""White-box tests of the MR-family phase machines, one transition at a time.
+
+Pure automata make this direct: feed crafted messages and detector values to
+``transition`` and inspect the exact sends — the LEAD/REP/PROP choreography
+of Section 6.3's description, at message level.
+"""
+
+import pytest
+
+from repro.consensus.mostefaoui_raynal import (
+    LEAD,
+    PROP,
+    REP,
+    UNKNOWN,
+    MostefaouiRaynal,
+)
+from repro.consensus.quorum_mr import NaiveSigmaNuConsensus, QuorumMR
+from repro.kernel.automaton import DeliveredMessage
+
+
+class Driver:
+    def __init__(self, automaton, pid=0, n=3, proposal="v"):
+        self.automaton = automaton
+        self.pid = pid
+        self.n = n
+        self.state = automaton.initial_state(pid, n, proposal)
+        self.sent = []
+
+    def step(self, msg=None, d=None):
+        outcome = self.automaton.transition(self.state, self.pid, msg, d)
+        self.state = outcome.state
+        self.sent.extend(outcome.sends)
+        return outcome.sends
+
+    def deliver(self, sender, payload, d=None):
+        return self.step(DeliveredMessage(sender, payload), d)
+
+
+Q01 = (0, frozenset({0, 1}))  # leader 0, quorum {0,1}
+
+
+class TestQuorumMRPhases:
+    def test_round_opens_with_lead(self):
+        driver = Driver(QuorumMR())
+        sends = driver.step(d=Q01)
+        assert [p for _, p in sends].count((LEAD, 1, "v")) == 3
+
+    def test_adopts_leader_estimate_then_reports(self):
+        driver = Driver(QuorumMR())
+        driver.step(d=Q01)
+        sends = driver.deliver(0, (LEAD, 1, "w"), d=Q01)
+        reps = [p for _, p in sends if p[0] == REP]
+        assert len(reps) == 3
+        assert reps[0] == (REP, 1, "w")
+        assert driver.state.x == "w"
+
+    def test_non_leader_lead_ignored(self):
+        driver = Driver(QuorumMR())
+        driver.step(d=Q01)
+        sends = driver.deliver(1, (LEAD, 1, "z"), d=Q01)
+        assert all(p[0] != REP for _, p in sends)
+
+    def test_unanimous_reports_propose_value(self):
+        driver = Driver(QuorumMR())
+        driver.step(d=Q01)
+        driver.deliver(0, (LEAD, 1, "v"), d=Q01)
+        driver.deliver(0, (REP, 1, "v"), d=Q01)
+        sends = driver.deliver(1, (REP, 1, "v"), d=Q01)
+        props = [p for _, p in sends if p[0] == PROP]
+        assert props and props[0] == (PROP, 1, "v")
+
+    def test_mixed_reports_propose_unknown(self):
+        driver = Driver(QuorumMR())
+        driver.step(d=Q01)
+        driver.deliver(0, (LEAD, 1, "v"), d=Q01)
+        driver.deliver(0, (REP, 1, "v"), d=Q01)
+        sends = driver.deliver(1, (REP, 1, "x"), d=Q01)
+        props = [p for _, p in sends if p[0] == PROP]
+        assert props and props[0][2] == UNKNOWN
+
+    def test_unanimous_proposals_decide(self):
+        driver = Driver(QuorumMR())
+        driver.step(d=Q01)
+        driver.deliver(0, (LEAD, 1, "v"), d=Q01)
+        driver.deliver(0, (REP, 1, "v"), d=Q01)
+        driver.deliver(1, (REP, 1, "v"), d=Q01)
+        driver.deliver(0, (PROP, 1, "v"), d=Q01)
+        driver.deliver(1, (PROP, 1, "v"), d=Q01)
+        assert driver.automaton.decision(driver.state) == "v"
+
+    def test_unknown_proposals_do_not_decide_but_advance(self):
+        driver = Driver(QuorumMR())
+        driver.step(d=Q01)
+        driver.deliver(0, (LEAD, 1, "v"), d=Q01)
+        driver.deliver(0, (REP, 1, "v"), d=Q01)
+        driver.deliver(1, (REP, 1, "x"), d=Q01)
+        driver.deliver(0, (PROP, 1, UNKNOWN), d=Q01)
+        sends = driver.deliver(1, (PROP, 1, UNKNOWN), d=Q01)
+        assert driver.automaton.decision(driver.state) is None
+        assert driver.state.round == 2
+        # the new round's LEAD goes out within the same step
+        assert any(p == (LEAD, 2, "v") for _, p in sends)
+
+    def test_single_nonunknown_proposal_adopted(self):
+        driver = Driver(QuorumMR())
+        driver.step(d=Q01)
+        driver.deliver(0, (LEAD, 1, "v"), d=Q01)
+        driver.deliver(0, (REP, 1, "v"), d=Q01)
+        driver.deliver(1, (REP, 1, "x"), d=Q01)
+        driver.deliver(0, (PROP, 1, "y"), d=Q01)
+        driver.deliver(1, (PROP, 1, UNKNOWN), d=Q01)
+        assert driver.state.x == "y"
+        assert driver.automaton.decision(driver.state) is None
+
+    def test_quorum_reread_every_step(self):
+        """A wait unsatisfied under one quorum completes when the detector
+        shrinks the quorum — the `repeat Q <- Sigma_p` semantics."""
+        driver = Driver(QuorumMR())
+        driver.step(d=Q01)
+        driver.deliver(0, (LEAD, 1, "v"), d=Q01)
+        driver.deliver(0, (REP, 1, "v"), d=Q01)  # {0,1} needs 1's REP too
+        assert driver.state.phase == REP
+        sends = driver.step(d=(0, frozenset({0})))  # quorum shrinks to {0}
+        assert driver.state.phase == PROP
+        assert any(p[0] == PROP for _, p in sends)
+
+    def test_empty_quorum_never_satisfies(self):
+        driver = Driver(QuorumMR())
+        driver.step(d=Q01)
+        driver.deliver(0, (LEAD, 1, "v"), d=Q01)
+        driver.deliver(0, (REP, 1, "v"), d=(0, frozenset()))
+        assert driver.state.phase == REP
+
+    def test_decided_process_keeps_advancing_rounds(self):
+        driver = Driver(QuorumMR(), n=1, pid=0, proposal="s")
+        d = (0, frozenset({0}))
+        driver.step(d=d)
+        driver.deliver(0, (LEAD, 1, "s"), d=d)
+        driver.deliver(0, (REP, 1, "s"), d=d)
+        driver.deliver(0, (PROP, 1, "s"), d=d)
+        assert driver.automaton.decision(driver.state) == "s"
+        assert driver.state.round == 2  # still opening new rounds
+
+
+class TestMostefaouiRaynalMajorities:
+    def test_majority_threshold(self):
+        automaton = MostefaouiRaynal()
+        driver = Driver(automaton, n=5)
+        driver.step(d=0)
+        driver.deliver(0, (LEAD, 1, "v"), d=0)
+        for sender in (0, 1):
+            driver.deliver(sender, (REP, 1, "v"), d=0)
+        assert driver.state.phase == REP  # 2 < majority(5) = 3
+        driver.deliver(2, (REP, 1, "v"), d=0)
+        assert driver.state.phase == PROP
+
+    def test_decision_needs_majority_of_same_value(self):
+        driver = Driver(MostefaouiRaynal(), n=3)
+        driver.step(d=0)
+        driver.deliver(0, (LEAD, 1, "v"), d=0)
+        driver.deliver(0, (REP, 1, "v"), d=0)
+        driver.deliver(1, (REP, 1, "v"), d=0)
+        driver.deliver(0, (PROP, 1, "v"), d=0)
+        driver.deliver(1, (PROP, 1, "v"), d=0)
+        assert driver.automaton.decision(driver.state) == "v"
+
+    def test_snapshot_is_deterministic(self):
+        a = Driver(MostefaouiRaynal(), n=3)
+        b = Driver(MostefaouiRaynal(), n=3)
+        for driver in (a, b):
+            driver.step(d=0)
+            driver.deliver(0, (LEAD, 1, "v"), d=0)
+        auto = MostefaouiRaynal()
+        assert auto.snapshot(a.state) == auto.snapshot(b.state)
+
+
+class TestNaiveVariantSharesTheMachinery:
+    def test_identical_text_different_name(self):
+        assert NaiveSigmaNuConsensus.__mro__[1] is QuorumMR
+        assert NaiveSigmaNuConsensus().name == "naive-sigma-nu"
+
+    def test_decides_through_private_quorum(self):
+        """The unsafe power: a self-quorum decides alone immediately."""
+        driver = Driver(NaiveSigmaNuConsensus(), pid=2, n=3, proposal="w")
+        d = (2, frozenset({2}))
+        driver.step(d=d)
+        driver.deliver(2, (LEAD, 1, "w"), d=d)
+        driver.deliver(2, (REP, 1, "w"), d=d)
+        driver.deliver(2, (PROP, 1, "w"), d=d)
+        assert driver.automaton.decision(driver.state) == "w"

@@ -1,0 +1,76 @@
+"""Consensus property verifiers (Section 2.8)."""
+
+from repro.consensus.interface import ConsensusOutcome
+from repro.consensus.properties import (
+    check_nonuniform_consensus,
+    check_uniform_consensus,
+)
+from repro.kernel.failures import FailurePattern
+
+
+def outcome(n, crashes, proposals, decisions):
+    return ConsensusOutcome(
+        n=n,
+        pattern=FailurePattern(n, crashes),
+        proposals=proposals,
+        decisions=decisions,
+    )
+
+
+class TestNonuniform:
+    def test_clean_run_passes(self):
+        o = outcome(3, {2: 5}, {0: "a", 1: "b", 2: "c"}, {0: "a", 1: "a"})
+        assert check_nonuniform_consensus(o).ok
+
+    def test_missing_correct_decision_fails_termination(self):
+        o = outcome(3, {}, {p: "v" for p in range(3)}, {0: "v", 1: "v"})
+        report = check_nonuniform_consensus(o)
+        assert not report.ok
+        assert any("termination" in v for v in report.violations)
+
+    def test_faulty_need_not_decide(self):
+        o = outcome(3, {2: 5}, {p: "v" for p in range(3)}, {0: "v", 1: "v"})
+        assert check_nonuniform_consensus(o).ok
+
+    def test_undecided_ok_when_termination_not_required(self):
+        o = outcome(2, {}, {0: "v", 1: "v"}, {})
+        assert check_nonuniform_consensus(o, require_termination=False).ok
+
+    def test_unproposed_value_fails_validity(self):
+        o = outcome(2, {}, {0: "a", 1: "b"}, {0: "z", 1: "z"})
+        report = check_nonuniform_consensus(o)
+        assert any("validity" in v for v in report.violations)
+
+    def test_correct_disagreement_fails(self):
+        o = outcome(2, {}, {0: "a", 1: "b"}, {0: "a", 1: "b"})
+        report = check_nonuniform_consensus(o)
+        assert any("nonuniform agreement" in v for v in report.violations)
+
+    def test_faulty_disagreement_tolerated(self):
+        """The defining weakening: a faulty decider may deviate."""
+        o = outcome(3, {2: 5}, {0: "a", 1: "a", 2: "b"}, {0: "a", 1: "a", 2: "b"})
+        assert check_nonuniform_consensus(o).ok
+        assert not check_uniform_consensus(o).ok
+
+
+class TestUniform:
+    def test_all_deciders_must_agree(self):
+        o = outcome(3, {2: 5}, {p: str(p) for p in range(3)}, {0: "0", 2: "1"})
+        report = check_uniform_consensus(o, require_termination=False)
+        assert any("uniform agreement" in v for v in report.violations)
+
+    def test_uniform_implies_nonuniform(self):
+        o = outcome(3, {2: 5}, {p: "v" for p in range(3)}, {0: "v", 1: "v", 2: "v"})
+        assert check_uniform_consensus(o).ok
+        assert check_nonuniform_consensus(o).ok
+
+
+class TestOutcomeHelpers:
+    def test_correct_decisions_filter(self):
+        o = outcome(3, {2: 0}, {p: "v" for p in range(3)}, {1: "v", 2: "w"})
+        assert o.correct_decisions == {1: "v"}
+        assert not o.all_correct_decided
+
+    def test_all_correct_decided(self):
+        o = outcome(2, {1: 0}, {0: "v", 1: "v"}, {0: "v"})
+        assert o.all_correct_decided

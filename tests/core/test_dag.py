@@ -1,0 +1,254 @@
+"""Sample DAGs (Section 4.1): Observations 4.1-4.4 as executable facts."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dag import (
+    DagCore,
+    Sample,
+    SampleDAG,
+    chain_over_processes,
+    greedy_chain,
+)
+
+
+def build_random_dags(n, ops, seed):
+    """Simulate n DagCores exchanging DAGs through `ops` random events."""
+    rng = random.Random(seed)
+    cores = [DagCore(p, n) for p in range(n)]
+    t = 0
+    for _ in range(ops):
+        p = rng.randrange(n)
+        if rng.random() < 0.5 and len(cores) > 1:
+            q = rng.randrange(n)
+            cores[p].absorb(cores[q].dag)
+        cores[p].sample(d=f"d{t}", t=t)
+        t += 1
+    return cores
+
+
+class TestSampleBasics:
+    def test_first_sample_has_empty_frontier(self):
+        dag, s = SampleDAG.empty(3).add_local_sample(1, "x", t=4)
+        assert s.key == (1, 1)
+        assert s.frontier == (0, 0, 0)
+        assert s.depth == 0
+        assert s.t == 4
+
+    def test_sample_indices_increase(self):
+        dag = SampleDAG.empty(2)
+        dag, s1 = dag.add_local_sample(0, "a")
+        dag, s2 = dag.add_local_sample(0, "b")
+        assert (s1.k, s2.k) == (1, 2)
+        assert s2.frontier == (1, 0)
+
+
+class TestObservation41Monotone:
+    def test_dag_only_grows(self):
+        """Observation 4.1: G_p^t is a subgraph of G_p^t' for t <= t'."""
+        core = DagCore(0, 2)
+        seen = set()
+        other = DagCore(1, 2)
+        for i in range(20):
+            other.sample(f"o{i}")
+            if i % 3 == 0:
+                core.absorb(other.dag)
+            core.sample(f"d{i}")
+            keys = {s.key for s in core.dag.nodes()}
+            assert seen <= keys
+            seen = keys
+
+
+class TestObservation42OwnSamplesChain:
+    def test_own_samples_totally_ordered(self):
+        """Observation 4.2: (p,k') is an ancestor of (p,k) whenever k' < k."""
+        core = DagCore(0, 1)
+        samples = [core.sample(i) for i in range(6)]
+        for i in range(6):
+            for j in range(6):
+                if i < j:
+                    assert SampleDAG.is_ancestor(samples[i], samples[j])
+                elif i > j:
+                    assert not SampleDAG.is_ancestor(samples[i], samples[j])
+
+
+class TestObservation44TimesIncrease:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 4), st.integers(10, 60), st.integers(0, 10**6))
+    def test_ancestry_implies_earlier_time(self, n, ops, seed):
+        """tau is strictly increasing along every path (Observation 4.4)."""
+        cores = build_random_dags(n, ops, seed)
+        for core in cores:
+            nodes = core.dag.nodes()
+            for u in nodes:
+                for v in nodes:
+                    if SampleDAG.is_ancestor(u, v):
+                        assert u.t < v.t
+
+
+class TestAncestry:
+    def test_union_preserves_nodes(self):
+        a = DagCore(0, 2)
+        b = DagCore(1, 2)
+        a.sample("a1")
+        b.sample("b1")
+        merged = a.dag.union(b.dag)
+        assert len(merged) == 2
+        assert (0, 1) in merged and (1, 1) in merged
+
+    def test_union_identity_fast_paths(self):
+        a = DagCore(0, 2)
+        a.sample("x")
+        empty = SampleDAG.empty(2)
+        assert a.dag.union(empty) is a.dag
+        assert empty.union(a.dag) is a.dag
+
+    def test_cross_process_ancestry_via_absorb(self):
+        a = DagCore(0, 2)
+        b = DagCore(1, 2)
+        sa = a.sample("a1")
+        b.absorb(a.dag)
+        sb = b.sample("b1")
+        assert SampleDAG.is_ancestor(sa, sb)
+        assert not SampleDAG.is_ancestor(sb, sa)
+
+    def test_concurrent_samples_incomparable(self):
+        a = DagCore(0, 2)
+        b = DagCore(1, 2)
+        sa = a.sample("a1")
+        sb = b.sample("b1")
+        assert not SampleDAG.comparable(sa, sb)
+
+    def test_ancestor_closure(self):
+        """Every DAG built by A_DAG operations is ancestor-closed: it holds
+        all samples (q, k') with k' <= max_k(q)."""
+        for core in build_random_dags(3, 40, seed=5):
+            dag = core.dag
+            for q in range(3):
+                for k in range(1, dag.max_k(q) + 1):
+                    assert (q, k) in dag
+
+    def test_descendants_includes_root_by_default(self):
+        core = build_random_dags(2, 20, seed=1)[0]
+        root = core.dag.get((0, 1))
+        fresh = core.dag.descendants(root)
+        assert root in fresh
+        assert root not in core.dag.descendants(root, include_root=False)
+
+    def test_descendants_matches_bruteforce(self):
+        for core in build_random_dags(3, 30, seed=9):
+            dag = core.dag
+            for root in dag.nodes():
+                expected = {
+                    s.key
+                    for s in dag.nodes()
+                    if s.key == root.key or SampleDAG.is_ancestor(root, s)
+                }
+                assert {s.key for s in dag.descendants(root)} == expected
+
+    def test_ancestors_matches_bruteforce(self):
+        core = build_random_dags(2, 25, seed=3)[0]
+        dag = core.dag
+        node = dag.latest_sample(0)
+        expected = {
+            s.key
+            for s in dag.nodes()
+            if s.key == node.key or SampleDAG.is_ancestor(s, node)
+        }
+        assert {s.key for s in dag.ancestors(node)} == expected
+
+
+class TestTopologyHelpers:
+    def test_topological_respects_ancestry(self):
+        core = build_random_dags(3, 40, seed=2)[1]
+        order = core.dag.topological()
+        position = {s.key: i for i, s in enumerate(order)}
+        for u in order:
+            for v in order:
+                if SampleDAG.is_ancestor(u, v):
+                    assert position[u.key] < position[v.key]
+
+    def test_greedy_chain_is_a_path(self):
+        """Consecutive chain elements are ancestor-related (a DAG path)."""
+        for core in build_random_dags(4, 60, seed=7):
+            chain = greedy_chain(core.dag.nodes())
+            for u, v in zip(chain, chain[1:]):
+                assert SampleDAG.is_ancestor(u, v)
+
+    def test_chain_over_processes_filters(self):
+        core = build_random_dags(3, 40, seed=11)[0]
+        chain = chain_over_processes(core.dag.nodes(), frozenset({0, 2}))
+        assert all(s.pid in (0, 2) for s in chain)
+
+    def test_latest_sample(self):
+        core = DagCore(0, 2)
+        core.sample("a")
+        latest = core.sample("b")
+        assert core.dag.latest_sample(0) == latest
+        assert core.dag.latest_sample(1) is None
+
+    def test_samples_of_sorted_by_k(self):
+        core = DagCore(0, 1)
+        for i in range(5):
+            core.sample(i)
+        ks = [s.k for s in core.dag.samples_of(0)]
+        assert ks == [1, 2, 3, 4, 5]
+
+
+class TestDagCore:
+    def test_counter_tracks_samples(self):
+        core = DagCore(2, 3)
+        assert core.k == 0
+        core.sample("x")
+        core.sample("y")
+        assert core.k == 2
+        assert core.last_sample.key == (2, 2)
+
+    def test_absorb_ignores_non_dag_payloads(self):
+        core = DagCore(0, 2)
+        core.absorb(("some", "tuple"))
+        core.absorb(None)
+        assert len(core.dag) == 0
+
+    def test_absorb_then_sample_attaches_below_everything(self):
+        a, b = DagCore(0, 2), DagCore(1, 2)
+        for i in range(3):
+            a.sample(i)
+        b.absorb(a.dag)
+        s = b.sample("mine")
+        assert s.frontier == (3, 0)
+        assert s.depth == 3
+
+
+class TestBalancedChain:
+    def test_is_a_path(self):
+        from repro.core.dag import balanced_chain
+
+        for core in build_random_dags(4, 80, seed=13):
+            chain = balanced_chain(core.dag.nodes())
+            for u, v in zip(chain, chain[1:]):
+                assert SampleDAG.is_ancestor(u, v)
+
+    def test_serves_processes_evenly(self):
+        """On a well-mixed DAG the balanced chain must not starve anyone the
+        way the plain greedy chain can."""
+        from repro.core.dag import balanced_chain
+
+        cores = build_random_dags(3, 120, seed=17)
+        chain = balanced_chain(cores[0].dag.nodes())
+        counts = {p: sum(1 for s in chain if s.pid == p) for p in range(3)}
+        assert min(counts.values()) * 4 >= max(counts.values()), counts
+
+    def test_empty_input(self):
+        from repro.core.dag import balanced_chain
+
+        assert balanced_chain([]) == []
+
+    def test_single_process(self):
+        from repro.core.dag import balanced_chain
+
+        core = DagCore(0, 1)
+        samples = [core.sample(i, t=i) for i in range(5)]
+        assert balanced_chain(core.dag.nodes()) == samples

@@ -1,0 +1,123 @@
+"""Differential test: the A_nuc automaton port equals the coroutine.
+
+Feed both renditions the *same* observation sequences — harvested from live
+coroutine runs across environments and seeds — and require identical send
+sequences and identical decisions at every step.  This pins the pure
+automaton (used by extraction/model checking) to the readable coroutine.
+"""
+
+import random
+
+import pytest
+
+from repro.core.nuc import AnucProcess
+from repro.core.nuc_automaton import AnucAutomaton
+from repro.detectors import Omega, PairedDetector, SigmaNuPlus
+from repro.kernel.automaton import DeliveredMessage
+from repro.kernel.failures import FailurePattern
+from repro.kernel.system import System
+
+
+def live_run(pattern, proposals, seed):
+    detector = PairedDetector(Omega(), SigmaNuPlus())
+    history = detector.sample_history(pattern, random.Random(seed + 999))
+    processes = {p: AnucProcess(proposals[p]) for p in range(pattern.n)}
+    system = System(processes, pattern, history, seed=seed)
+    result = system.run(
+        max_steps=30000, stop_when=lambda s: s.all_correct_decided()
+    )
+    return result
+
+
+def observations_of(result, pid):
+    """(msg, d) sequence and per-step send lists of one process."""
+    obs, sends = [], []
+    for record in result.steps:
+        if record.pid != pid:
+            continue
+        if record.message is not None:
+            msg = DeliveredMessage(record.message.sender, record.message.payload)
+        else:
+            msg = None
+        obs.append((msg, record.detector_value))
+        sends.append([(m.dest, m.payload) for m in record.sends])
+    return obs, sends
+
+
+CASES = [
+    (FailurePattern(2, {}), 0),
+    (FailurePattern(3, {2: 15}), 1),
+    (FailurePattern(3, {0: 5, 1: 20}), 2),
+    (FailurePattern(4, {3: 30}), 3),
+]
+
+
+@pytest.mark.parametrize("pattern,seed", CASES, ids=[f"case{i}" for i in range(len(CASES))])
+def test_automaton_replays_coroutine_exactly(pattern, seed):
+    proposals = {p: p % 2 for p in range(pattern.n)}
+    result = live_run(pattern, proposals, seed)
+    assert result.decisions, "the source run must decide"
+
+    automaton = AnucAutomaton()
+    for pid in range(pattern.n):
+        obs, expected_sends = observations_of(result, pid)
+        state = automaton.initial_state(pid, pattern.n, proposals[pid])
+        for i, (msg, d) in enumerate(obs):
+            outcome = automaton.transition(state, pid, msg, d)
+            state = outcome.state
+            assert outcome.sends == expected_sends[i], (
+                pid,
+                i,
+                outcome.sends,
+                expected_sends[i],
+            )
+        assert automaton.decision(state) == result.decisions.get(pid), pid
+
+
+def test_ablation_flags_match_too():
+    pattern = FailurePattern(3, {})
+    proposals = {p: "q" for p in range(3)}
+    detector = PairedDetector(Omega(), SigmaNuPlus())
+    history = detector.sample_history(pattern, random.Random(50))
+    processes = {
+        p: AnucProcess(proposals[p], enable_quorum_awareness=False)
+        for p in range(3)
+    }
+    system = System(processes, pattern, history, seed=4)
+    result = system.run(max_steps=20000, stop_when=lambda s: s.all_correct_decided())
+
+    automaton = AnucAutomaton(enable_quorum_awareness=False)
+    for pid in range(3):
+        obs, expected_sends = observations_of(result, pid)
+        state = automaton.initial_state(pid, 3, proposals[pid])
+        for i, (msg, d) in enumerate(obs):
+            outcome = automaton.transition(state, pid, msg, d)
+            state = outcome.state
+            assert outcome.sends == expected_sends[i], (pid, i)
+        assert automaton.decision(state) == result.decisions.get(pid)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_native_automaton_in_live_system(seed):
+    """The port also runs live (through AutomatonProcess) under schedules
+    and delivery orders the coroutine never saw, and still solves
+    nonuniform consensus."""
+    from repro.consensus import check_nonuniform_consensus, consensus_outcome
+    from repro.kernel.automaton import AutomatonProcess
+
+    rng = random.Random(f"liveport/{seed}")
+    n = rng.randint(2, 5)
+    crashed = rng.sample(range(n), rng.randint(0, n - 1))
+    pattern = FailurePattern(n, {p: rng.randint(0, 50) for p in crashed})
+    proposals = {p: rng.choice(["L", "R"]) for p in range(n)}
+    detector = PairedDetector(Omega(), SigmaNuPlus())
+    history = detector.sample_history(pattern, random.Random(seed + 321))
+    processes = {
+        p: AutomatonProcess(AnucAutomaton(), proposals[p]) for p in range(n)
+    }
+    system = System(processes, pattern, history, seed=seed)
+    result = system.run(
+        max_steps=30000, stop_when=lambda s: s.all_correct_decided()
+    )
+    assert result.stop_reason == "stop_condition", pattern
+    assert check_nonuniform_consensus(consensus_outcome(result, proposals)).ok

@@ -1,0 +1,231 @@
+"""Mutation fuzzing of the property checkers.
+
+The checkers are the oracle for every differential test in the repository,
+so they get adversarial treatment: start from generator-produced *valid*
+histories, apply a targeted mutation that breaks exactly one property, and
+require the corresponding checker to flag it.  A checker that silently
+accepts a mutation would quietly hollow out the whole test suite.
+"""
+
+import random
+
+import pytest
+
+from repro.detectors.base import ScheduleHistory
+from repro.detectors.checkers import (
+    check_omega,
+    check_sigma,
+    check_sigma_nu,
+    check_sigma_nu_plus,
+)
+from repro.detectors.omega import Omega
+from repro.detectors.sigma import Sigma
+from repro.detectors.sigma_nu import SigmaNu
+from repro.detectors.sigma_nu_plus import SigmaNuPlus
+from repro.kernel.failures import FailurePattern
+
+HORIZON = 200
+
+
+def mutate(history: ScheduleHistory, pid: int, changes) -> ScheduleHistory:
+    """Rebuild a schedule history with ``pid``'s breakpoints replaced."""
+    points = {p: history.breakpoints_of(p) for p in _pids(history)}
+    points[pid] = changes
+    return ScheduleHistory(points)
+
+
+def append_late(history: ScheduleHistory, pid: int, value) -> ScheduleHistory:
+    """Append a suffix breakpoint near the horizon for ``pid``."""
+    points = history.breakpoints_of(pid)
+    return mutate(history, pid, points + [(HORIZON - 5, value)])
+
+
+def _pids(history: ScheduleHistory):
+    return list(history._times)  # test-only reach into the representation
+
+
+@pytest.fixture
+def pattern():
+    return FailurePattern(4, {3: 20})
+
+
+class TestOmegaMutations:
+    def make(self, seed=0):
+        pattern = FailurePattern(4, {3: 20})
+        history = Omega().sample_history(pattern, random.Random(seed))
+        assert check_omega(history, pattern, HORIZON).ok
+        return pattern, history
+
+    def test_late_flip_detected(self):
+        pattern, history = self.make()
+        correct = sorted(pattern.correct)
+        leader = history.value(correct[0], HORIZON)
+        other = next(p for p in range(4) if p != leader)
+        mutated = append_late(history, correct[0], other)
+        assert not check_omega(mutated, pattern, HORIZON).ok
+
+    def test_faulty_eventual_leader_detected(self):
+        pattern, history = self.make()
+        mutated = history
+        for p in sorted(pattern.correct):
+            mutated = append_late(mutated, p, 3)  # 3 is faulty
+        assert not check_omega(mutated, pattern, HORIZON).ok
+
+    def test_one_process_disagreeing_detected(self):
+        pattern, history = self.make()
+        correct = sorted(pattern.correct)
+        leader = history.value(correct[0], HORIZON)
+        other = next(p for p in pattern.correct if p != leader)
+        mutated = append_late(history, correct[-1], other)
+        assert not check_omega(mutated, pattern, HORIZON).ok
+
+    def test_faulty_noise_not_flagged(self):
+        pattern, history = self.make()
+        mutated = append_late(history, 3, 0)  # faulty process; unconstrained
+        assert check_omega(mutated, pattern, HORIZON).ok
+
+
+class TestSigmaMutations:
+    def make(self, seed=1):
+        pattern = FailurePattern(4, {3: 20})
+        history = Sigma("pivot").sample_history(pattern, random.Random(seed))
+        assert check_sigma(history, pattern, HORIZON).ok
+        return pattern, history
+
+    def test_disjoint_quorum_detected(self):
+        pattern, history = self.make()
+        # find a quorum that misses some existing quorum: use the complement
+        # of the pivot-bearing quorum at process 0
+        q0 = history.value(0, HORIZON)
+        disjoint = frozenset(set(range(4)) - set(q0)) or frozenset({3})
+        mutated = append_late(history, 1, disjoint)
+        assert not check_sigma(mutated, pattern, HORIZON).ok
+
+    def test_empty_quorum_detected(self):
+        pattern, history = self.make()
+        mutated = append_late(history, 2, frozenset())
+        assert not check_sigma(mutated, pattern, HORIZON).ok
+
+    def test_faulty_member_at_horizon_detected(self):
+        pattern, history = self.make()
+        correct = sorted(pattern.correct)
+        tainted = history.value(correct[0], HORIZON) | {3}
+        mutated = append_late(history, correct[0], tainted)
+        result = check_sigma(mutated, pattern, HORIZON)
+        assert not result.ok
+        assert any("completeness" in v for v in result.violations)
+
+    def test_mid_run_faulty_member_tolerated(self):
+        """Completeness is eventual: faulty members *before* stabilization
+        are fine; the checker must not over-flag."""
+        pattern, history = self.make()
+        points = history.breakpoints_of(0)
+        early = [(0, frozenset(range(4)))] + [
+            (t, v) for t, v in points if t > 0
+        ]
+        mutated = mutate(history, 0, early)
+        assert check_sigma(mutated, pattern, HORIZON).ok
+
+
+class TestSigmaNuMutations:
+    def make(self, seed=2):
+        pattern = FailurePattern(4, {3: 20})
+        history = SigmaNu("selfish").sample_history(pattern, random.Random(seed))
+        assert check_sigma_nu(history, pattern, HORIZON).ok
+        return pattern, history
+
+    def test_correct_disjointness_detected(self):
+        pattern, history = self.make()
+        correct = sorted(pattern.correct)
+        q = history.value(correct[0], HORIZON)
+        disjoint = frozenset(set(range(4)) - set(q))
+        if not disjoint:
+            pytest.skip("quorum covers everyone; nothing disjoint to inject")
+        mutated = append_late(history, correct[1], frozenset(disjoint))
+        assert not check_sigma_nu(mutated, pattern, HORIZON).ok
+
+    def test_faulty_disjointness_tolerated(self):
+        pattern, history = self.make()
+        mutated = append_late(history, 3, frozenset({3}))
+        assert check_sigma_nu(mutated, pattern, HORIZON).ok
+
+    def test_completeness_mutation_detected(self):
+        pattern, history = self.make()
+        correct = sorted(pattern.correct)
+        tainted = history.value(correct[0], HORIZON) | {3}
+        mutated = append_late(history, correct[0], tainted)
+        assert not check_sigma_nu(mutated, pattern, HORIZON).ok
+
+
+class TestSigmaNuPlusMutations:
+    def make(self, seed=3):
+        pattern = FailurePattern(4, {2: 15, 3: 20})
+        history = SigmaNuPlus("doomed").sample_history(
+            pattern, random.Random(seed)
+        )
+        assert check_sigma_nu_plus(history, pattern, HORIZON).ok
+        return pattern, history
+
+    def test_self_exclusion_detected(self):
+        pattern, history = self.make()
+        correct = sorted(pattern.correct)
+        p = correct[0]
+        without_self = frozenset(
+            set(history.value(p, HORIZON)) - {p}
+        ) or frozenset({correct[1]})
+        mutated = append_late(history, p, without_self)
+        result = check_sigma_nu_plus(mutated, pattern, HORIZON)
+        assert not result.ok
+        assert any("self-inclusion" in v for v in result.violations)
+
+    def test_conditional_nonintersection_mutation_detected(self):
+        """Give a faulty process a quorum that misses a correct quorum while
+        containing a correct member: must be flagged."""
+        pattern, history = self.make()
+        correct = sorted(pattern.correct)
+        q_correct = history.value(correct[0], HORIZON)
+        outside_correct = [p for p in correct if p not in q_correct]
+        if not outside_correct:
+            pytest.skip("correct quorum covers all correct processes")
+        bad = frozenset({2, outside_correct[0]})
+        mutated = append_late(history, 2, bad)
+        result = check_sigma_nu_plus(mutated, pattern, HORIZON)
+        assert not result.ok
+
+    def test_all_faulty_disjoint_quorum_tolerated(self):
+        pattern, history = self.make()
+        mutated = append_late(history, 3, frozenset({2, 3}))
+        assert check_sigma_nu_plus(mutated, pattern, HORIZON).ok
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_cross_contamination(seed):
+    """Swapping a random correct process's suffix for a random subset either
+    keeps the Sigma^nu property or is flagged — and the checker's verdict
+    matches a brute-force re-evaluation of the definition."""
+    rng = random.Random(seed)
+    pattern = FailurePattern(4, {3: 20})
+    history = SigmaNu("junk").sample_history(pattern, rng)
+    correct = sorted(pattern.correct)
+    victim = rng.choice(correct)
+    subset = frozenset(
+        p for p in range(4) if rng.random() < 0.5
+    )
+    mutated = append_late(history, victim, subset)
+    verdict = check_sigma_nu(mutated, pattern, HORIZON)
+
+    # brute force the nonuniform intersection + completeness definition
+    def values(p):
+        return [v for _, v in mutated.breakpoints_of(p) if _ <= HORIZON]
+
+    inter_ok = all(
+        bool(set(a) & set(b))
+        for p in correct
+        for q in correct
+        for a in values(p)
+        for b in values(q)
+    )
+    comp_ok = all(
+        set(mutated.value(p, HORIZON)) <= set(pattern.correct) for p in correct
+    )
+    assert verdict.ok == (inter_ok and comp_ok)

@@ -1,0 +1,76 @@
+"""Reconstructing O_R (Section 2.9) from live run output logs."""
+
+from repro.detectors.emulated import recorded_output_history
+from repro.detectors.base import FunctionalHistory
+from repro.kernel.automaton import Process
+from repro.kernel.failures import FailurePattern
+from repro.kernel.system import System
+
+
+class OutputEveryStep(Process):
+    def initial_output(self):
+        return "init"
+
+    def program(self, ctx):
+        while True:
+            yield from ctx.take_step()
+            ctx.output(("step", ctx.pid, ctx.step_count))
+
+
+class OutputOnce(Process):
+    def initial_output(self):
+        return frozenset({0, 1})
+
+    def program(self, ctx):
+        yield from ctx.take_step()
+        ctx.output(frozenset({ctx.pid}))
+        while True:
+            yield from ctx.take_step()
+
+
+def run(processes, n=2, steps=30, crashes=None):
+    pattern = FailurePattern(n, crashes or {})
+    system = System(
+        processes, pattern, FunctionalHistory(lambda p, t: None), seed=3
+    )
+    return system.run(max_steps=steps)
+
+
+class TestRecordedOutputHistory:
+    def test_initial_value_holds_until_first_assignment(self):
+        result = run({0: OutputOnce(), 1: OutputOnce()})
+        history = recorded_output_history(result)
+        first_step_of_0 = result.steps_of(0)[0].time
+        if first_step_of_0 > 0:
+            assert history.value(0, 0) == frozenset({0, 1})
+        assert history.value(0, first_step_of_0) == frozenset({0})
+
+    def test_last_value_frozen_after_crash(self):
+        result = run(
+            {0: OutputEveryStep(), 1: OutputEveryStep()},
+            steps=40,
+            crashes={0: 10},
+        )
+        history = recorded_output_history(result)
+        last = history.value(0, 9)
+        assert history.value(0, 39) == last
+
+    def test_horizon_defaults_to_final_time(self):
+        result = run({0: OutputEveryStep(), 1: OutputEveryStep()}, steps=25)
+        history = recorded_output_history(result)
+        assert history.horizon == result.final_time - 1
+
+    def test_repeated_equal_assignments_collapse(self):
+        class Constant(Process):
+            def initial_output(self):
+                return "c"
+
+            def program(self, ctx):
+                while True:
+                    yield from ctx.take_step()
+                    ctx.output("c")
+
+        result = run({0: Constant(), 1: Constant()}, steps=20)
+        history = recorded_output_history(result)
+        assert history.events_of(0) == []
+        assert history.value(0, 19) == "c"

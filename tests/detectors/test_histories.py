@@ -1,0 +1,115 @@
+"""History representations: schedules, recordings, adaptive wrappers."""
+
+import pytest
+
+from repro.detectors.base import (
+    AdaptiveHistory,
+    FunctionalHistory,
+    RecordedHistory,
+    ScheduleHistory,
+)
+
+
+class TestFunctionalHistory:
+    def test_delegates_to_function(self):
+        h = FunctionalHistory(lambda p, t: (p, t))
+        assert h.value(2, 7) == (2, 7)
+
+
+class TestScheduleHistory:
+    def test_piecewise_constant_lookup(self):
+        h = ScheduleHistory({0: [(0, "a"), (5, "b"), (9, "c")]})
+        assert h.value(0, 0) == "a"
+        assert h.value(0, 4) == "a"
+        assert h.value(0, 5) == "b"
+        assert h.value(0, 8) == "b"
+        assert h.value(0, 100) == "c"
+
+    def test_requires_breakpoint_at_zero(self):
+        with pytest.raises(ValueError):
+            ScheduleHistory({0: [(3, "late")]})
+
+    def test_unknown_process_raises(self):
+        h = ScheduleHistory({0: [(0, "a")]})
+        with pytest.raises(KeyError):
+            h.value(1, 0)
+
+    def test_breakpoints_sorted_on_construction(self):
+        h = ScheduleHistory({0: [(5, "b"), (0, "a")]})
+        assert h.breakpoints_of(0) == [(0, "a"), (5, "b")]
+
+
+class TestRecordedHistory:
+    def test_step_function_semantics(self):
+        h = RecordedHistory(2, horizon=20)
+        h.record(0, 3, "x")
+        h.record(0, 8, "y")
+        assert h.value(0, 3) == "x"
+        assert h.value(0, 7) == "x"
+        assert h.value(0, 8) == "y"
+        assert h.value(0, 20) == "y"
+
+    def test_initial_value_before_first_record(self):
+        h = RecordedHistory(1, horizon=10, initial={0: "init"})
+        assert h.value(0, 0) == "init"
+        h.record(0, 5, "later")
+        assert h.value(0, 4) == "init"
+
+    def test_undefined_early_value_raises(self):
+        h = RecordedHistory(1, horizon=10)
+        h.record(0, 5, "v")
+        with pytest.raises(KeyError):
+            h.value(0, 4)
+
+    def test_out_of_order_record_rejected(self):
+        h = RecordedHistory(1, horizon=10)
+        h.record(0, 5, "v")
+        with pytest.raises(ValueError):
+            h.record(0, 4, "w")
+
+    def test_same_time_rerecord_later_wins(self):
+        h = RecordedHistory(1, horizon=10)
+        h.record(0, 5, "first")
+        h.record(0, 5, "second")
+        assert h.value(0, 5) == "second"
+
+    def test_all_values_window(self):
+        h = RecordedHistory(1, horizon=10, initial={0: "i"})
+        h.record(0, 2, "a")
+        h.record(0, 6, "b")
+        assert h.all_values(0) == ["i", "a", "b"]
+        assert h.all_values(0, t_from=3) == ["a", "b"]
+        assert h.all_values(0, t_from=7) == ["b"]
+
+    def test_final_value_and_last_change(self):
+        h = RecordedHistory(1, horizon=10)
+        h.record(0, 1, "a")
+        h.record(0, 9, "b")
+        assert h.final_value(0) == "b"
+        assert h.last_change_time(0) == 9
+
+
+class TestAdaptiveHistory:
+    def test_records_queries(self):
+        state = {"mode": "early"}
+        h = AdaptiveHistory(1, lambda p, t: state["mode"])
+        assert h.value(0, 0) == "early"
+        state["mode"] = "late"
+        assert h.value(0, 5) == "late"
+        recorded = h.recorded(horizon=10)
+        assert recorded.value(0, 0) == "early"
+        assert recorded.value(0, 5) == "late"
+        assert recorded.value(0, 10) == "late"
+
+    def test_recorded_backfills_initial(self):
+        h = AdaptiveHistory(2, lambda p, t: f"v{p}")
+        h.value(1, 7)  # first query late
+        recorded = h.recorded(horizon=10)
+        assert recorded.value(1, 0) == "v1"  # initial backfill
+
+    def test_duplicate_time_queries_deduplicated(self):
+        h = AdaptiveHistory(1, lambda p, t: "same")
+        h.value(0, 3)
+        h.value(0, 3)
+        recorded = h.recorded(horizon=5)
+        assert recorded.events_of(0) == [(3, "same")]

@@ -1,0 +1,82 @@
+"""The ⪯ preorder witnesses (Section 2.9) and the paper's lattice facts."""
+
+import pytest
+
+from repro.detectors.ordering import (
+    demonstrate,
+    identity_transformation,
+    omega_weaker_than_pair,
+    projection_transformation,
+    sigma_nu_plus_weaker_than_sigma_nu,
+    sigma_nu_weaker_than_sigma,
+    sigma_nu_weaker_than_sigma_nu_plus,
+)
+from repro.kernel.failures import FailurePattern
+
+
+def patterns():
+    return [
+        FailurePattern(3, {}),
+        FailurePattern(3, {2: 15}),
+        FailurePattern(4, {0: 5, 1: 20}),
+    ]
+
+
+class TestTrivialTransformations:
+    def test_sigma_nu_weaker_than_sigma(self):
+        demo = demonstrate(sigma_nu_weaker_than_sigma(), patterns(), seed=1)
+        assert demo.all_valid, demo.checks
+
+    def test_sigma_nu_weaker_than_sigma_nu_plus(self):
+        demo = demonstrate(
+            sigma_nu_weaker_than_sigma_nu_plus(), patterns(), seed=2
+        )
+        assert demo.all_valid, demo.checks
+
+    def test_omega_projection_from_pair(self):
+        demo = demonstrate(omega_weaker_than_pair(), patterns(), seed=3)
+        assert demo.all_valid, demo.checks
+
+
+class TestSubstantialTransformation:
+    def test_sigma_nu_plus_weaker_than_sigma_nu(self):
+        demo = demonstrate(
+            sigma_nu_plus_weaker_than_sigma_nu(3), patterns(), seed=4
+        )
+        assert demo.all_valid, demo.checks
+
+
+class TestNegativeWitness:
+    def test_identity_does_not_witness_sigma_from_sigma_nu(self):
+        """Σ ⪯̸ Σν via identity: a Σν history with selfish faulty quorums
+        fails the Σ checker — the gap the whole paper is about.  (The
+        impossibility of *any* transformation for t >= n/2 is the adversary
+        test's job; this only shows the trivial one fails.)"""
+        from repro.detectors.checkers import check_sigma
+        from repro.detectors.sigma_nu import SigmaNu
+
+        bad = identity_transformation(
+            SigmaNu("selfish"), check_sigma, name="bogus Sigma <= Sigma^nu"
+        )
+        crashy = [FailurePattern(3, {2: 10})]
+        demo = demonstrate(bad, crashy, seed=5)
+        assert not demo.all_valid
+
+    def test_wrong_projection_component_fails(self):
+        from repro.detectors.checkers import check_omega
+        from repro.detectors.omega import Omega
+        from repro.detectors.paired import PairedDetector
+        from repro.detectors.sigma_nu import SigmaNu
+
+        wrong = projection_transformation(
+            PairedDetector(Omega(), SigmaNu()),
+            index=1,  # the quorum component is not an Omega history
+            target_checker=check_omega,
+            name="bogus Omega projection",
+        )
+        demo = demonstrate(wrong, [FailurePattern(3, {})], seed=6)
+        assert not demo.all_valid
+
+    def test_demonstration_repr(self):
+        demo = demonstrate(omega_weaker_than_pair(), [FailurePattern(2, {})])
+        assert "ok" in repr(demo) or "FAILED" in repr(demo)

@@ -1,0 +1,66 @@
+"""The perfect and eventually-perfect detectors used as strong baselines."""
+
+import random
+
+from repro.detectors.perfect import EventuallyPerfect, Perfect
+from repro.kernel.failures import FailurePattern
+
+
+class TestPerfect:
+    def test_no_suspicion_before_crash(self):
+        """Strong accuracy: nobody is suspected before crashing."""
+        pattern = FailurePattern(4, {2: 10})
+        h = Perfect(lag=3).sample_history(pattern, random.Random(0))
+        for p in range(4):
+            for t in range(10 + 3):
+                assert 2 not in h.value(p, t) or t >= 13
+                assert not (h.value(p, t) - pattern.crashed_at(t))
+
+    def test_suspected_after_lag(self):
+        """Strong completeness: crashed processes eventually suspected."""
+        pattern = FailurePattern(3, {0: 5, 1: 8})
+        h = Perfect(lag=2).sample_history(pattern, random.Random(0))
+        assert h.value(2, 7) == {0}
+        assert h.value(2, 10) == {0, 1}
+
+    def test_zero_lag_immediate(self):
+        pattern = FailurePattern(2, {0: 4})
+        h = Perfect(lag=0).sample_history(pattern, random.Random(0))
+        assert 0 in h.value(1, 4)
+
+    def test_rejects_negative_lag(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Perfect(lag=-1)
+
+
+class TestEventuallyPerfect:
+    def test_eventually_exactly_crashed(self):
+        pattern = FailurePattern(3, {1: 5})
+        h = EventuallyPerfect(stabilization_slack=10).sample_history(
+            pattern, random.Random(1)
+        )
+        # after stabilization (at most 5+10) the suspect set is exact
+        for t in range(16, 40):
+            assert h.value(0, t) == {1}
+
+    def test_noise_possible_before_stabilization(self):
+        pattern = FailurePattern(4)
+        found_noise = False
+        for seed in range(20):
+            h = EventuallyPerfect(noise_prob=0.5).sample_history(
+                pattern, random.Random(seed)
+            )
+            if any(h.value(0, t) for t in range(5)):
+                found_noise = True
+                break
+        assert found_noise
+
+    def test_deterministic_per_seed(self):
+        pattern = FailurePattern(3, {0: 3})
+        h1 = EventuallyPerfect().sample_history(pattern, random.Random(9))
+        h2 = EventuallyPerfect().sample_history(pattern, random.Random(9))
+        assert all(
+            h1.value(p, t) == h2.value(p, t) for p in range(3) for t in range(30)
+        )

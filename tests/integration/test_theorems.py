@@ -1,0 +1,136 @@
+"""One integration test per paper result — the reproduction's contract.
+
+Each test exercises the full pipeline behind one theorem (or the Section 6.3
+scenario) end to end, with the independent checkers as the oracle.  These
+are the tests EXPERIMENTS.md points at.
+"""
+
+import random
+
+import pytest
+
+from repro.consensus import (
+    QuorumMR,
+    check_nonuniform_consensus,
+    check_uniform_consensus,
+    consensus_outcome,
+)
+from repro.detectors import Omega, PairedDetector, Sigma
+from repro.harness.merging import random_mergeable_pair_report
+from repro.harness.runner import (
+    random_binary_proposals,
+    run_boosting,
+    run_extraction,
+    run_from_scratch_sigma,
+    run_nuc,
+    run_stack,
+)
+from repro.kernel.failures import FailurePattern
+from repro.separation.adversary import run_partition_adversary
+from repro.separation.contamination import run_contamination_scenario
+from repro.separation.from_scratch_sigma import FromScratchSigma
+
+
+def hard_pattern(n, seed):
+    """A minority-correct pattern: the regime the paper is about."""
+    rng = random.Random(f"hard/{n}/{seed}")
+    faulty_count = max(n // 2, min(n - 1, n // 2 + 1))
+    crashed = rng.sample(range(n), faulty_count)
+    return FailurePattern(n, {p: rng.randint(0, 50) for p in crashed})
+
+
+class TestLemma22:
+    def test_merging_machinery(self):
+        for seed in range(4):
+            report = random_mergeable_pair_report(n=5, seed=seed)
+            assert report.merged_valid and report.states_preserved
+
+
+class TestTheorem54_Necessity:
+    def test_extraction_yields_sigma_nu_in_minority_correct_runs(self):
+        detector = PairedDetector(Omega(), Sigma("pivot"))
+        for seed in range(2):
+            pattern = hard_pattern(4, seed)
+            outcome = run_extraction(QuorumMR(), detector, pattern, seed=seed)
+            assert outcome.ok, (pattern, outcome.sigma_nu_check.violations[:2])
+
+
+class TestTheorem58_UniformNecessity:
+    def test_same_transformation_yields_full_sigma(self):
+        detector = PairedDetector(Omega(), Sigma("pivot"))
+        pattern = hard_pattern(3, 1)
+        outcome = run_extraction(QuorumMR(), detector, pattern, seed=1)
+        assert outcome.sigma_check.ok
+
+
+class TestTheorem67_Boosting:
+    def test_sigma_nu_plus_emulated_in_any_environment(self):
+        for seed in range(2):
+            pattern = hard_pattern(4, seed + 10)
+            outcome = run_boosting(pattern, seed=seed)
+            assert outcome.ok, (pattern, outcome.check.violations[:2])
+
+
+class TestTheorem627_Sufficiency:
+    def test_anuc_solves_nonuniform_consensus_minority_correct(self):
+        for seed in range(3):
+            pattern = hard_pattern(5, seed + 20)
+            proposals = random_binary_proposals(5, random.Random(seed))
+            outcome = run_nuc(pattern, proposals, seed=seed)
+            assert outcome.ok, (pattern, outcome.nonuniform.violations)
+
+
+class TestTheorem628_FullStack:
+    def test_omega_sigma_nu_stack_end_to_end(self):
+        for seed in range(2):
+            pattern = hard_pattern(4, seed + 30)
+            proposals = random_binary_proposals(4, random.Random(seed))
+            outcome = run_stack(pattern, proposals, seed=seed)
+            assert outcome.ok, (pattern, outcome.nonuniform.violations)
+            assert outcome.boosted_check.ok
+
+
+class TestTheorem71_Separation:
+    def test_if_direction_majority(self):
+        pattern = FailurePattern(5, {0: 8, 4: 22})
+        outcome = run_from_scratch_sigma(5, 2, pattern, seed=0)
+        assert outcome.check.ok
+
+    def test_only_if_direction_half_or_more(self):
+        verdict = run_partition_adversary(
+            lambda pid: FromScratchSigma(4, 2), 4, 2, seed=2
+        )
+        assert verdict.violated
+
+    def test_boundary_is_exactly_half(self):
+        below = run_partition_adversary(
+            lambda pid: FromScratchSigma(5, 2), 5, 2, seed=0
+        )
+        at = run_partition_adversary(
+            lambda pid: FromScratchSigma(5, 3), 5, 3, seed=0
+        )
+        assert not below.violated
+        assert at.violated
+
+
+class TestSection63_Contamination:
+    def test_naive_falls_anuc_stands(self):
+        naive = run_contamination_scenario("naive", seed=0)
+        anuc = run_contamination_scenario("anuc", seed=0)
+        assert naive.contaminated and not anuc.contaminated
+        assert naive.omega_check.ok and naive.sigma_check.ok
+        assert anuc.distrust_events
+
+
+class TestFootnote5_UniformWithSigma:
+    def test_quorum_mr_uniform_any_environment(self):
+        from tests.conftest import run_live_consensus
+
+        detector = PairedDetector(Omega(), Sigma("pivot"))
+        pattern = hard_pattern(5, 40)
+        proposals = random_binary_proposals(5, random.Random(40))
+        result = run_live_consensus(
+            QuorumMR(), detector, pattern, proposals, seed=40
+        )
+        outcome = consensus_outcome(result, proposals)
+        assert check_uniform_consensus(outcome).ok

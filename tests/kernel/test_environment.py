@@ -1,0 +1,76 @@
+"""Environments (Section 2.2): E_t, sampling, enumeration."""
+
+import random
+
+import pytest
+
+from repro.kernel.environment import Environment, spread_crash_times
+from repro.kernel.failures import FailurePattern
+
+
+class TestEnvironmentMembership:
+    def test_e_t_accepts_up_to_t_failures(self):
+        env = Environment.max_failures(5, 2)
+        assert FailurePattern(5, {0: 1}) in env
+        assert FailurePattern(5, {0: 1, 1: 2}) in env
+        assert FailurePattern(5, {0: 1, 1: 2, 2: 3}) not in env
+
+    def test_e_0_is_failure_free_only(self):
+        env = Environment.max_failures(3, 0)
+        assert FailurePattern.no_failures(3) in env
+        assert FailurePattern(3, {0: 5}) not in env
+
+    def test_wrong_n_is_never_a_member(self):
+        env = Environment.max_failures(5, 2)
+        assert FailurePattern.no_failures(4) not in env
+
+    def test_any_failures_requires_one_correct(self):
+        env = Environment.any_failures(3)
+        assert FailurePattern(3, {0: 0, 1: 0}) in env
+        assert FailurePattern.initial_crashes(3, [0, 1, 2]) not in env
+
+    def test_majority_correct_threshold(self):
+        env = Environment.majority_correct(5)
+        assert env.max_faulty == 2
+        assert FailurePattern(5, {0: 1, 1: 1}) in env
+        assert FailurePattern(5, {0: 1, 1: 1, 2: 1}) not in env
+
+    def test_invalid_t_rejected(self):
+        with pytest.raises(ValueError):
+            Environment.max_failures(3, 4)
+        with pytest.raises(ValueError):
+            Environment.max_failures(3, -1)
+
+
+class TestSamplingAndEnumeration:
+    def test_sampled_patterns_are_members(self):
+        env = Environment.max_failures(6, 3)
+        rng = random.Random(7)
+        for _ in range(50):
+            assert env.sample_pattern(rng) in env
+
+    def test_sample_respects_forced_faulty_count(self):
+        env = Environment.max_failures(5, 4)
+        rng = random.Random(1)
+        pattern = env.sample_pattern(rng, faulty_count=3)
+        assert len(pattern.faulty) == 3
+
+    def test_enumerate_crash_sets_counts(self):
+        env = Environment.max_failures(4, 2)
+        sets = list(env.enumerate_crash_sets())
+        # C(4,0) + C(4,1) + C(4,2) = 1 + 4 + 6
+        assert len(sets) == 11
+        assert all(len(s) <= 2 for s in sets)
+
+    def test_enumerate_patterns_combines_times(self):
+        env = Environment.max_failures(3, 1)
+        patterns = list(env.enumerate_patterns(crash_times=[0, 5]))
+        # failure-free once, plus 3 singletons x 2 times
+        assert len(patterns) == 1 + 3 * 2
+        assert all(p in env for p in patterns)
+
+    def test_spread_crash_times(self):
+        rng = random.Random(3)
+        pattern = spread_crash_times(5, [1, 4], rng, horizon=9)
+        assert pattern.faulty == {1, 4}
+        assert all(0 <= pattern.crash_time(p) <= 9 for p in (1, 4))

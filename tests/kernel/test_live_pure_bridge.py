@@ -1,0 +1,110 @@
+"""Cross-validation: live executions are legal runs of the formal model.
+
+``pure_run_from_live`` lifts a live System trace into the Section 2.6 run
+formalism; ``validate_run`` then re-simulates it from the initial
+configuration and checks properties (1)-(5).  Passing means the live
+executor (coroutine adapter, buffer, scheduler, clock) and the pure
+simulator agree step for step — the strongest internal consistency check
+the kernel has.
+"""
+
+import random
+
+import pytest
+
+from repro.consensus.flood_p import FloodSetPerfect
+from repro.consensus.mostefaoui_raynal import MostefaouiRaynal
+from repro.consensus.quorum_mr import QuorumMR
+from repro.detectors import Omega, PairedDetector, Perfect, Sigma
+from repro.kernel.automaton import AutomatonProcess
+from repro.kernel.failures import FailurePattern
+from repro.kernel.runs import pure_run_from_live, validate_run
+from repro.kernel.scheduler import RoundRobinScheduler, WeightedScheduler
+from repro.kernel.system import System
+
+
+def live_run(automaton, detector, pattern, proposals, seed=0, **kwargs):
+    history = detector.sample_history(pattern, random.Random(seed * 31 + 7))
+    processes = {
+        p: AutomatonProcess(automaton, proposals[p]) for p in range(pattern.n)
+    }
+    system = System(processes, pattern, history, seed=seed, **kwargs)
+    result = system.run(max_steps=8000, stop_when=lambda s: s.all_correct_decided())
+    return result, history
+
+
+CASES = [
+    (
+        "quorum-mr",
+        QuorumMR(),
+        PairedDetector(Omega(), Sigma("pivot")),
+        FailurePattern(3, {2: 20}),
+    ),
+    (
+        "mr",
+        MostefaouiRaynal(),
+        Omega(),
+        FailurePattern(4, {3: 15}),
+    ),
+    (
+        "floodset",
+        FloodSetPerfect(),
+        Perfect(lag=3),
+        FailurePattern(3, {0: 10}),
+    ),
+]
+
+
+@pytest.mark.parametrize("name,automaton,detector,pattern", CASES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_live_runs_are_valid_model_runs(name, automaton, detector, pattern, seed):
+    proposals = {p: p % 2 for p in range(pattern.n)}
+    result, history = live_run(automaton, detector, pattern, proposals, seed=seed)
+    run = pure_run_from_live(result, automaton, proposals, history.value)
+    assert validate_run(run) == []
+
+
+def test_bridge_under_round_robin():
+    pattern = FailurePattern(3, {})
+    proposals = {p: "x" for p in range(3)}
+    result, history = live_run(
+        QuorumMR(),
+        PairedDetector(Omega(), Sigma("pivot")),
+        pattern,
+        proposals,
+        seed=4,
+        scheduler=RoundRobinScheduler(),
+    )
+    run = pure_run_from_live(result, QuorumMR(), proposals, history.value)
+    assert validate_run(run) == []
+
+
+def test_bridge_under_skewed_scheduler():
+    pattern = FailurePattern(4, {1: 30})
+    proposals = {p: p for p in range(4)}
+    result, history = live_run(
+        QuorumMR(),
+        PairedDetector(Omega(), Sigma("full")),
+        pattern,
+        proposals,
+        seed=5,
+        scheduler=WeightedScheduler({0: 9.0, 2: 0.2}),
+    )
+    run = pure_run_from_live(result, QuorumMR(), proposals, history.value)
+    assert validate_run(run) == []
+
+
+def test_bridge_replays_decisions_identically():
+    pattern = FailurePattern(3, {1: 12})
+    proposals = {0: "a", 1: "b", 2: "c"}
+    result, history = live_run(
+        QuorumMR(),
+        PairedDetector(Omega(), Sigma("pivot")),
+        pattern,
+        proposals,
+        seed=6,
+    )
+    run = pure_run_from_live(result, QuorumMR(), proposals, history.value)
+    sim = run.simulator()
+    sim.run_schedule(run.schedule, run.times)
+    assert sim.decided_pids() == result.decisions

@@ -1,0 +1,85 @@
+"""Step-selection policies and their fairness guarantees (property (6))."""
+
+import random
+from collections import Counter
+
+from repro.kernel.scheduler import (
+    RandomFairScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    WeightedScheduler,
+)
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        sched = RoundRobinScheduler()
+        rng = random.Random(0)
+        picks = [sched.next_process((0, 1, 2), t, rng) for t in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_crashed(self):
+        sched = RoundRobinScheduler()
+        rng = random.Random(0)
+        picks = [sched.next_process((0, 2), t, rng) for t in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+    def test_empty_alive_returns_none(self):
+        assert RoundRobinScheduler().next_process((), 0, random.Random(0)) is None
+
+
+class TestRandomFair:
+    def test_every_alive_process_scheduled_within_gap(self):
+        sched = RandomFairScheduler(max_gap=10)
+        rng = random.Random(3)
+        last = {p: 0 for p in range(4)}
+        for i in range(1, 400):
+            pick = sched.next_process((0, 1, 2, 3), i, rng)
+            gap = i - last[pick]
+            last[pick] = i
+        for p in range(4):
+            assert 400 - last[p] <= 12 + 4  # aged within the bound
+
+    def test_distribution_roughly_uniform(self):
+        sched = RandomFairScheduler(max_gap=100)
+        rng = random.Random(7)
+        counts = Counter(
+            sched.next_process((0, 1, 2), t, rng) for t in range(3000)
+        )
+        for p in range(3):
+            assert 800 <= counts[p] <= 1200
+
+    def test_rejects_bad_gap(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RandomFairScheduler(max_gap=0)
+
+
+class TestWeighted:
+    def test_weights_skew_schedule(self):
+        sched = WeightedScheduler({0: 10.0, 1: 1.0}, max_gap=1000)
+        rng = random.Random(9)
+        counts = Counter(sched.next_process((0, 1), t, rng) for t in range(2000))
+        assert counts[0] > 4 * counts[1]
+
+    def test_aging_still_schedules_lightweights(self):
+        sched = WeightedScheduler({0: 1000.0, 1: 0.001}, max_gap=50)
+        rng = random.Random(11)
+        picks = [sched.next_process((0, 1), t, rng) for t in range(500)]
+        assert picks.count(1) >= 500 // 52
+
+
+class TestScripted:
+    def test_follows_script_then_fallback(self):
+        sched = ScriptedScheduler([2, 2, 0], fallback=RoundRobinScheduler())
+        rng = random.Random(0)
+        picks = [sched.next_process((0, 1, 2), t, rng) for t in range(5)]
+        assert picks[:3] == [2, 2, 0]
+        assert picks[3:] == [0, 1]
+
+    def test_skips_crashed_script_entries(self):
+        sched = ScriptedScheduler([1, 2, 0])
+        rng = random.Random(0)
+        assert sched.next_process((0, 2), 0, rng) == 2
+        assert sched.next_process((0, 2), 1, rng) == 0

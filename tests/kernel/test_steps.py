@@ -1,0 +1,87 @@
+"""Schedules and causal precedence (Sections 2.5-2.6, Observation 2.1)."""
+
+from repro.kernel.steps import (
+    Schedule,
+    Step,
+    causal_edges,
+    causal_past,
+    causally_precedes,
+    participants,
+)
+
+
+def s(pid, uid=None, d=None):
+    return Step(pid=pid, msg_uid=uid, detector_value=d)
+
+
+class TestSchedule:
+    def test_len_and_indexing(self):
+        sched = Schedule([s(0), s(1), s(0)])
+        assert len(sched) == 3
+        assert sched[1].pid == 1
+        assert isinstance(sched[0:2], Schedule)
+        assert len(sched[0:2]) == 2
+
+    def test_prefix_matches_paper_notation(self):
+        sched = Schedule([s(0), s(1), s(2)])
+        assert list(sched.prefix(2)) == [s(0), s(1)]
+        assert list(sched.prefix(0)) == []
+
+    def test_append_and_extend_are_persistent(self):
+        base = Schedule([s(0)])
+        longer = base.append(s(1))
+        assert len(base) == 1
+        assert len(longer) == 2
+        assert len(base.extend([s(1), s(2)])) == 3
+
+    def test_participants(self):
+        sched = Schedule([s(0), s(2), s(0)])
+        assert participants(sched) == {0, 2}
+        assert participants(Schedule()) == frozenset()
+
+    def test_steps_of(self):
+        sched = Schedule([s(0), s(1), s(0), s(2)])
+        assert sched.steps_of(0) == [0, 2]
+
+    def test_equality_and_hash(self):
+        a = Schedule([s(0), s(1)])
+        b = Schedule([s(0), s(1)])
+        assert a == b and hash(a) == hash(b)
+        assert a != Schedule([s(1), s(0)])
+
+
+class TestCausalPrecedence:
+    def test_program_order_edges(self):
+        sched = Schedule([s(0), s(1), s(0)])
+        edges = causal_edges(sched, {})
+        assert (0, 2) in edges  # steps 0 and 2 are both process 0's
+
+    def test_message_edges(self):
+        # step 0 (process 0) sends uid (0,0); step 2 (process 1) receives it
+        sched = Schedule([s(0), s(1), s(1, uid=(0, 0))])
+        edges = causal_edges(sched, {(0, 0): 0})
+        assert (0, 2) in edges
+
+    def test_causally_precedes_transitive(self):
+        # 0 sends to 1 (received at step 2), then 1's step 3 follows
+        sched = Schedule([s(0), s(2), s(1, uid=(0, 0)), s(1)])
+        send_indices = {(0, 0): 0}
+        assert causally_precedes(sched, send_indices, 0, 2)
+        assert causally_precedes(sched, send_indices, 0, 3)  # via program order
+        assert not causally_precedes(sched, send_indices, 1, 3)
+
+    def test_observation_2_1_precedence_implies_lower_index(self):
+        sched = Schedule([s(0), s(0)])
+        assert not causally_precedes(sched, {}, 1, 0)
+        assert not causally_precedes(sched, {}, 0, 0)
+
+    def test_concurrent_steps_unrelated(self):
+        sched = Schedule([s(0), s(1)])
+        assert not causally_precedes(sched, {}, 0, 1)
+        assert not causally_precedes(sched, {}, 1, 0)
+
+    def test_causal_past(self):
+        sched = Schedule([s(0), s(1), s(1, uid=(0, 0)), s(2)])
+        past = causal_past(sched, {(0, 0): 0}, 2)
+        assert past == {0, 1}
+        assert causal_past(sched, {}, 0) == frozenset()

@@ -1,0 +1,169 @@
+"""The live System: stepping, crashes, stop conditions, recording."""
+
+import pytest
+
+from repro.detectors.base import FunctionalHistory
+from repro.kernel.automaton import Process
+from repro.kernel.failures import FailurePattern
+from repro.kernel.scheduler import RoundRobinScheduler
+from repro.kernel.system import System
+
+
+class Broadcaster(Process):
+    """Broadcasts its step count every step; decides at `threshold` receipts."""
+
+    def __init__(self, threshold=3):
+        self.threshold = threshold
+
+    def program(self, ctx):
+        received = 0
+        while True:
+            obs = yield from ctx.take_step()
+            ctx.send_to_all(("beat", ctx.pid, ctx.step_count))
+            ctx.output(ctx.step_count)
+            if obs.message is not None:
+                received += 1
+                if received >= self.threshold and ctx.decision is None:
+                    ctx.decide(("done", ctx.pid))
+
+
+def make_system(n=3, crashes=None, seed=1, threshold=3):
+    pattern = FailurePattern(n, crashes or {})
+    history = FunctionalHistory(lambda p, t: ("d", t))
+    processes = {p: Broadcaster(threshold) for p in range(n)}
+    return System(processes, pattern, history, seed=seed), pattern
+
+
+class TestSystemStepping:
+    def test_time_advances_one_per_step(self):
+        system, _ = make_system()
+        for expected in range(5):
+            record = system.step()
+            assert record.time == expected
+        assert system.time == 5
+
+    def test_crashed_processes_take_no_steps(self):
+        system, _ = make_system(crashes={0: 0})
+        for _ in range(50):
+            system.step()
+        assert all(s.pid != 0 for s in system.steps)
+
+    def test_crash_mid_run_stops_steps_from_then_on(self):
+        system, _ = make_system(crashes={1: 10})
+        for _ in range(60):
+            system.step()
+        late = [s for s in system.steps if s.time >= 10]
+        assert all(s.pid != 1 for s in late)
+        early = [s for s in system.steps if s.time < 10]
+        assert any(s.pid == 1 for s in early)
+
+    def test_all_crashed_returns_none(self):
+        system, _ = make_system(n=2, crashes={0: 0, 1: 0})
+        assert system.step() is None
+
+    def test_detector_queries_recorded(self):
+        system, _ = make_system()
+        system.step()
+        pid = system.steps[0].pid
+        assert system.queried[pid] == [(0, ("d", 0))]
+
+    def test_detector_value_follows_history_time(self):
+        system, _ = make_system()
+        records = [system.step() for _ in range(4)]
+        for r in records:
+            assert r.detector_value == ("d", r.time)
+
+
+class TestSystemRun:
+    def test_stop_condition_ends_run(self):
+        system, _ = make_system()
+        result = system.run(
+            max_steps=5000, stop_when=lambda s: s.all_correct_decided()
+        )
+        assert result.stop_reason == "stop_condition"
+        assert set(result.decisions) == {0, 1, 2}
+
+    def test_max_steps_budget(self):
+        system, _ = make_system(threshold=10**9)
+        result = system.run(max_steps=40)
+        assert result.stop_reason == "max_steps"
+        assert result.step_count == 40
+
+    def test_extra_steps_run_past_stop(self):
+        system, _ = make_system()
+        result = system.run(
+            max_steps=5000,
+            stop_when=lambda s: s.all_correct_decided(),
+            extra_steps=25,
+        )
+        decided_at = max(result.decision_times.values())
+        assert result.final_time >= decided_at + 25
+
+    def test_decisions_and_times_recorded(self):
+        system, _ = make_system(n=2)
+        result = system.run(
+            max_steps=5000, stop_when=lambda s: s.all_correct_decided()
+        )
+        for p, value in result.decisions.items():
+            assert value == ("done", p)
+            assert result.decision_times[p] is not None
+
+    def test_outputs_recorded_per_process(self):
+        system, _ = make_system(n=2)
+        result = system.run(max_steps=30)
+        for p in range(2):
+            steps_of_p = [s for s in result.steps if s.pid == p]
+            assert len(result.outputs[p]) == len(steps_of_p)
+
+    def test_message_accounting(self):
+        system, _ = make_system(n=2)
+        result = system.run(max_steps=50)
+        assert result.messages_sent == 2 * result.step_count
+        assert result.messages_delivered <= result.messages_sent
+
+    def test_decided_correct_filters_faulty(self):
+        system, pattern = make_system(n=3, crashes={2: 4})
+        result = system.run(
+            max_steps=5000, stop_when=lambda s: s.all_correct_decided()
+        )
+        assert set(result.decided_correct()) <= {0, 1}
+
+
+class TestSystemValidation:
+    def test_requires_full_process_map(self):
+        pattern = FailurePattern(3)
+        history = FunctionalHistory(lambda p, t: None)
+        with pytest.raises(ValueError):
+            System({0: Broadcaster(), 1: Broadcaster()}, pattern, history)
+
+    def test_plain_callable_history_accepted(self):
+        pattern = FailurePattern(2)
+        system = System(
+            {0: Broadcaster(), 1: Broadcaster()},
+            pattern,
+            history=lambda p, t: "L",
+            seed=0,
+        )
+        record = system.step()
+        assert record.detector_value == "L"
+
+    def test_seed_determinism(self):
+        def trace(seed):
+            system, _ = make_system(seed=seed)
+            result = system.run(max_steps=120)
+            return [(s.pid, s.message.uid if s.message else None) for s in result.steps]
+
+        assert trace(5) == trace(5)
+        assert trace(5) != trace(6)
+
+    def test_round_robin_scheduler_honoured(self):
+        pattern = FailurePattern(3)
+        system = System(
+            {p: Broadcaster() for p in range(3)},
+            pattern,
+            history=lambda p, t: None,
+            scheduler=RoundRobinScheduler(),
+            seed=0,
+        )
+        pids = [system.step().pid for _ in range(6)]
+        assert pids == [0, 1, 2, 0, 1, 2]

@@ -1,0 +1,185 @@
+"""The ABD register emulation over Σ quorums: safety across random runs."""
+
+import random
+
+import pytest
+
+from repro.detectors import Sigma
+from repro.kernel.failures import FailurePattern
+from repro.registers import RegisterHarness, check_register_safety
+
+
+def random_scripts(n, rng, ops_per_client=3):
+    scripts = {}
+    counter = 0
+    for p in range(n):
+        script = []
+        for _ in range(ops_per_client):
+            if rng.random() < 0.5:
+                counter += 1
+                script.append(("write", f"v{p}.{counter}"))
+            else:
+                script.append(("read",))
+        scripts[p] = script
+    return scripts
+
+
+def run_abd(pattern, scripts, seed, strategy="pivot"):
+    history = Sigma(strategy).sample_history(pattern, random.Random(seed + 11))
+    harness = RegisterHarness(
+        pattern=pattern, history=history, scripts=scripts, seed=seed
+    )
+    return harness.run()
+
+
+@pytest.mark.parametrize("seed", range(6))
+class TestAtomicityUnderSigma:
+    def test_random_scripts_random_patterns(self, seed):
+        rng = random.Random(f"abd/{seed}")
+        n = rng.randint(3, 5)
+        crashed = rng.sample(range(n), rng.randint(0, n - 1))
+        pattern = FailurePattern(n, {p: rng.randint(20, 60) for p in crashed})
+        scripts = random_scripts(n, rng)
+        result, records, procs = run_abd(pattern, scripts, seed)
+        completed_by_correct = [
+            r for r in records if r.pid in pattern.correct
+        ]
+        assert completed_by_correct, "correct clients must finish"
+        from repro.registers import RegisterHarness
+
+        report = check_register_safety(
+            records, RegisterHarness.incomplete_writes(procs)
+        )
+        assert report.ok, report.violations[:3]
+
+
+class TestBehaviour:
+    def test_read_sees_prior_write(self):
+        pattern = FailurePattern(3, {})
+        scripts = {0: [("write", "hello")], 1: [("read",), ("read",)], 2: []}
+        result, records, _ = run_abd(pattern, scripts, seed=1)
+        reads = [r for r in records if r.kind == "read"]
+        write = next(r for r in records if r.kind == "write")
+        late_reads = [r for r in reads if r.invoked_at > write.responded_at]
+        for r in late_reads:
+            assert r.value == "hello"
+
+    def test_initial_reads_return_none(self):
+        pattern = FailurePattern(3, {})
+        scripts = {0: [("read",)], 1: [], 2: []}
+        _, records, _ = run_abd(pattern, scripts, seed=2)
+        assert records[0].value is None
+        assert records[0].ts == (0, -1)
+
+    def test_writes_get_distinct_increasing_timestamps(self):
+        pattern = FailurePattern(3, {})
+        scripts = {
+            0: [("write", "a"), ("write", "b")],
+            1: [("write", "c")],
+            2: [],
+        }
+        _, records, _ = run_abd(pattern, scripts, seed=3)
+        writes = [r for r in records if r.kind == "write"]
+        stamps = [w.ts for w in writes]
+        assert len(set(stamps)) == len(stamps)
+
+    def test_works_with_shrinking_quorums(self):
+        pattern = FailurePattern(4, {3: 30})
+        rng = random.Random(4)
+        scripts = random_scripts(4, rng, ops_per_client=2)
+        result, records, procs = run_abd(pattern, scripts, seed=4, strategy="shrinking")
+        from repro.registers import RegisterHarness
+
+        assert check_register_safety(
+            records, RegisterHarness.incomplete_writes(procs)
+        ).ok
+
+    def test_unknown_operation_rejected_at_construction(self):
+        from repro.registers import RegisterClient
+
+        with pytest.raises(ValueError, match="unknown register operation"):
+            RegisterClient([("cas", 1, 2)])
+        with pytest.raises(ValueError, match="exactly one value"):
+            RegisterClient([("write",)])
+
+
+class TestSafetyChecker:
+    def make(self, kind, ts, value, invoked, responded, pid=0):
+        from repro.registers import OperationRecord
+
+        return OperationRecord(
+            pid=pid, kind=kind, value=value, ts=ts,
+            invoked_at=invoked, responded_at=responded,
+        )
+
+    def test_unwritten_timestamp_flagged(self):
+        records = [self.make("read", (5, 1), "ghost", 0, 1)]
+        report = check_register_safety(records)
+        assert not report.ok
+        assert "never-written" in report.violations[0]
+
+    def test_wrong_value_for_timestamp_flagged(self):
+        records = [
+            self.make("write", (1, 0), "real", 0, 1),
+            self.make("read", (1, 0), "fake", 2, 3),
+        ]
+        assert not check_register_safety(records).ok
+
+    def test_duplicate_write_timestamps_flagged(self):
+        records = [
+            self.make("write", (1, 0), "a", 0, 1),
+            self.make("write", (1, 0), "b", 2, 3, pid=1),
+        ]
+        report = check_register_safety(records)
+        assert any("uniqueness" in v for v in report.violations)
+
+    def test_stale_read_flagged(self):
+        records = [
+            self.make("write", (1, 0), "new", 0, 5),
+            self.make("read", (0, -1), None, 6, 8, pid=1),
+        ]
+        report = check_register_safety(records)
+        assert any("stale read" in v for v in report.violations)
+
+    def test_overlapping_operations_unconstrained(self):
+        records = [
+            self.make("write", (1, 0), "new", 0, 10),
+            self.make("read", (0, -1), None, 5, 8, pid=1),  # overlaps
+        ]
+        assert check_register_safety(records).ok
+
+
+class TestCheckerAgainstSequentialHistories:
+    """Property: any *sequential* history built by replaying operations on a
+    real register one at a time is accepted by the safety checker."""
+
+    def test_random_sequential_histories_pass(self):
+        import random
+
+        from repro.registers import OperationRecord
+
+        for seed in range(25):
+            rng = random.Random(f"seq/{seed}")
+            ts = (0, -1)
+            value = None
+            counter = 0
+            clock = 0
+            records = []
+            for _ in range(rng.randint(1, 12)):
+                pid = rng.randrange(4)
+                invoked = clock
+                clock += rng.randint(1, 3)
+                if rng.random() < 0.5:
+                    counter += 1
+                    ts = (counter, pid)
+                    value = f"v{counter}"
+                    records.append(
+                        OperationRecord(pid, "write", value, ts, invoked, clock)
+                    )
+                else:
+                    records.append(
+                        OperationRecord(pid, "read", value, ts, invoked, clock)
+                    )
+                clock += rng.randint(1, 3)
+            report = check_register_safety(records)
+            assert report.ok, (seed, report.violations)

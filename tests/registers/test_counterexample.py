@@ -1,0 +1,48 @@
+"""Σν cannot implement registers: the lost-write scenario and its control."""
+
+import pytest
+
+from repro.registers import run_lost_write_scenario
+from repro.registers.counterexample import run_sigma_control_arm
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_lost_write_scenario(seed=0)
+
+
+class TestLostWrite:
+    def test_anomaly_manifests(self, report):
+        assert report.violated
+        assert not report.safety.ok
+        assert any("stale read" in v for v in report.safety.violations)
+
+    def test_write_completed_before_read_invoked(self, report):
+        assert report.write.responded_at < report.stale_read.invoked_at
+
+    def test_read_returned_pre_write_state(self, report):
+        assert report.stale_read.ts < report.write.ts
+        assert report.stale_read.value is None
+
+    def test_history_is_legal_sigma_nu_but_not_sigma(self, report):
+        assert report.sigma_nu_check.ok, report.sigma_nu_check.violations
+        assert not report.sigma_check.ok
+
+    def test_links_remained_reliable(self, report):
+        """The write is eventually visible at every correct replica — the
+        register's *ordering* broke, not the links."""
+        assert report.eventually_visible
+
+    def test_writer_really_crashed(self, report):
+        assert report.crash_time is not None
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_robust_across_seeds(self, seed):
+        assert run_lost_write_scenario(seed=seed).violated
+
+
+class TestSigmaControlArm:
+    def test_intersecting_quorum_blocks_the_isolated_write(self):
+        """Under Σ the writer's quorum {0,1} forces contact with a replica
+        that readers will consult; isolated, the write cannot complete."""
+        assert run_sigma_control_arm(seed=0)

@@ -1,0 +1,98 @@
+"""Theorem 7.1 ONLY IF: the two-run partition adversary."""
+
+import pytest
+
+from repro.separation.adversary import run_partition_adversary
+from repro.separation.from_scratch_sigma import FromScratchSigma
+
+
+def factory_for(n, t):
+    return lambda pid: FromScratchSigma(n, t)
+
+
+class TestAdversaryBreaksHalfOrMore:
+    @pytest.mark.parametrize("n,t", [(2, 1), (4, 2), (5, 3), (6, 3)])
+    def test_intersection_violated(self, n, t):
+        verdict = run_partition_adversary(factory_for(n, t), n, t, seed=3)
+        assert verdict.violated, verdict.reason
+        assert verdict.a_quorum and verdict.b_quorum
+        assert not (verdict.a_quorum & verdict.b_quorum)
+        assert verdict.a_quorum <= verdict.partition_a
+        assert verdict.b_quorum <= verdict.partition_b
+
+    def test_replay_consistency(self):
+        verdict = run_partition_adversary(factory_for(4, 2), 4, 2, seed=1)
+        assert verdict.replay_consistent
+        assert verdict.notes == []
+
+    def test_partition_sizes_within_t(self):
+        verdict = run_partition_adversary(factory_for(6, 3), 6, 3, seed=0)
+        assert len(verdict.partition_a) <= 3
+        assert len(verdict.partition_b) <= 3
+        assert verdict.partition_a | verdict.partition_b == set(range(6))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_deterministic_per_seed_and_robust_across(self, seed):
+        verdict = run_partition_adversary(factory_for(4, 2), 4, 2, seed=seed)
+        assert verdict.violated
+
+
+class TestAdversaryInapplicableBelowHalf:
+    @pytest.mark.parametrize("n,t", [(3, 1), (5, 2), (7, 3)])
+    def test_no_partition_exists(self, n, t):
+        verdict = run_partition_adversary(factory_for(n, t), n, t, seed=0)
+        assert not verdict.violated
+        assert "no partition" in verdict.reason
+
+
+class TestAdversaryAgainstStubbornTransformations:
+    def test_never_outputting_partition_quorum_survives_r(self):
+        """A 'transformation' that always outputs Pi never exposes a
+        partition-contained quorum; the adversary reports that it survived
+        run R (of course, such an algorithm is not a Sigma transformation —
+        it fails completeness, which the report spells out)."""
+        from repro.kernel.automaton import Process
+
+        class AlwaysPi(Process):
+            def __init__(self, n):
+                self.n = n
+
+            def initial_output(self):
+                return frozenset(range(self.n))
+
+            def program(self, ctx):
+                while True:
+                    yield from ctx.take_step()
+
+        verdict = run_partition_adversary(lambda pid: AlwaysPi(4), 4, 2, seed=0)
+        assert not verdict.violated
+        assert "never" in verdict.reason
+
+    def test_give_up_completeness_survives_intersection_attack(self):
+        """An algorithm that outputs only its own partition-view after run R
+        but refuses to shrink in R' keeps intersection by sacrificing
+        completeness — the other horn of the theorem's dilemma."""
+        from repro.kernel.automaton import Process
+
+        class StubbornHalf(Process):
+            """Outputs {0,1} exactly once, whoever it is; never again."""
+
+            def __init__(self, n, pid):
+                self.n = n
+                self.pid = pid
+
+            def initial_output(self):
+                return frozenset(range(self.n))
+
+            def program(self, ctx):
+                yield from ctx.take_step()
+                if ctx.pid in (0, 1):
+                    ctx.output(frozenset({0, 1}))
+                while True:
+                    yield from ctx.take_step()
+
+        verdict = run_partition_adversary(
+            lambda pid: StubbornHalf(4, pid), 4, 2, seed=0
+        )
+        assert not verdict.violated
+        assert "completeness" in verdict.reason

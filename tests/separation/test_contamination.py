@@ -1,0 +1,82 @@
+"""Section 6.3 contamination: the naive algorithm falls, A_nuc stands."""
+
+import pytest
+
+from repro.separation.contamination import (
+    PROPOSALS,
+    run_contamination_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def naive_report():
+    return run_contamination_scenario("naive", seed=0)
+
+
+@pytest.fixture(scope="module")
+def anuc_report():
+    return run_contamination_scenario("anuc", seed=0)
+
+
+class TestNaiveContamination:
+    def test_nonuniform_agreement_violated(self, naive_report):
+        assert naive_report.contaminated
+        assert naive_report.decisions[0] == "v"
+        assert naive_report.decisions[1] == "w"
+
+    def test_violation_is_between_correct_processes(self, naive_report):
+        correct = naive_report.pattern.correct
+        assert {0, 1} <= correct
+        assert naive_report.decisions[0] != naive_report.decisions[1]
+
+    def test_history_was_legal_omega(self, naive_report):
+        assert naive_report.omega_check.ok, naive_report.omega_check.violations
+
+    def test_history_was_legal_sigma_nu(self, naive_report):
+        assert naive_report.sigma_check.ok, naive_report.sigma_check.violations
+
+    def test_crash_occurred_mid_run(self, naive_report):
+        assert naive_report.crash_time is not None
+        assert 0 < naive_report.crash_time < naive_report.steps
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_robust_across_seeds(self, seed):
+        report = run_contamination_scenario("naive", seed=seed)
+        assert report.contaminated
+        assert report.omega_check.ok and report.sigma_check.ok
+
+
+class TestAnucResists:
+    def test_no_contamination(self, anuc_report):
+        assert not anuc_report.contaminated
+        assert anuc_report.decisions[0] == "v"
+        assert anuc_report.decisions[1] == "v"
+
+    def test_distrust_mechanism_engaged(self, anuc_report):
+        """The defense is active, not accidental: correct processes
+        distrusted the faulty leader."""
+        assert any(q == 2 for _, q in anuc_report.distrust_events)
+
+    def test_history_family_is_valid_sigma_nu_plus(self, anuc_report):
+        assert anuc_report.sigma_check.ok, anuc_report.sigma_check.violations
+        assert anuc_report.omega_check.ok
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_robust_across_seeds(self, seed):
+        report = run_contamination_scenario("anuc", seed=seed)
+        assert not report.contaminated
+        assert report.decisions[0] == report.decisions[1] == "v"
+
+
+class TestScenarioShape:
+    def test_proposals_fixed(self):
+        assert PROPOSALS == {0: "v", 1: "v", 2: "w"}
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            run_contamination_scenario("bogus")
+
+    def test_faulty_process_may_decide_differently(self, naive_report):
+        """Process 2's 'w' decision is allowed by nonuniform consensus —
+        the violation is solely 0 vs 1."""
+        assert naive_report.decisions.get(2) in (None, "w")

@@ -1,0 +1,118 @@
+"""The replicated log (SMR) built on A_nuc instances."""
+
+import random
+
+import pytest
+
+from repro.kernel.failures import FailurePattern
+from repro.smr import check_smr, run_replicated_log
+
+
+def commands_for(n, per=2):
+    return {p: [("append", p, i) for i in range(per)] for p in range(n)}
+
+
+@pytest.mark.parametrize("seed", range(4))
+class TestSmrSweep:
+    def test_safety_across_random_environments(self, seed):
+        rng = random.Random(f"smr/{seed}")
+        n = rng.randint(2, 4)
+        crashed = rng.sample(range(n), rng.randint(0, n - 1))
+        pattern = FailurePattern(n, {p: rng.randint(20, 80) for p in crashed})
+        commands = commands_for(n)
+        result, procs = run_replicated_log(
+            pattern, commands, slots=3, seed=seed
+        )
+        assert result.stop_reason == "stop_condition", pattern
+        report = check_smr(pattern, procs, commands)
+        assert report.ok, report.violations[:3]
+
+
+class TestSmrBehaviour:
+    def test_correct_replicas_share_the_log(self):
+        pattern = FailurePattern(3, {})
+        commands = commands_for(3)
+        _, procs = run_replicated_log(pattern, commands, slots=4, seed=2)
+        logs = [procs[p].log for p in range(3)]
+        assert logs[0] == logs[1] == logs[2]
+        assert len(logs[0]) == 4
+
+    def test_minority_correct_still_replicates(self):
+        pattern = FailurePattern(4, {0: 30, 1: 45, 2: 60})
+        commands = commands_for(4)
+        result, procs = run_replicated_log(
+            pattern, commands, slots=3, seed=3, max_steps=200000
+        )
+        assert result.stop_reason == "stop_condition"
+        assert len(procs[3].log) == 3
+        assert check_smr(pattern, procs, commands).ok
+
+    def test_chosen_commands_apply_in_order(self):
+        pattern = FailurePattern(2, {})
+        commands = commands_for(2, per=3)
+        _, procs = run_replicated_log(pattern, commands, slots=5, seed=4)
+        for p in range(2):
+            expected = [
+                e for e in procs[p].log if e is not None and e[0] != "noop"
+            ]
+            assert procs[p].applied == expected
+
+    def test_no_command_twice(self):
+        pattern = FailurePattern(3, {1: 50})
+        commands = commands_for(3, per=3)
+        _, procs = run_replicated_log(pattern, commands, slots=6, seed=5)
+        report = check_smr(pattern, procs, commands)
+        assert report.ok
+        chosen = [
+            e
+            for e in procs[0].log
+            if e is not None and e[0] != "noop"
+        ]
+        assert len(set(chosen)) == len(chosen)
+
+
+class TestSmrChecker:
+    class FakeProc:
+        def __init__(self, log, applied=None):
+            self.log = log
+            self.applied = (
+                applied
+                if applied is not None
+                else [e for e in log if e and e[0] != "noop"]
+            )
+
+    def test_divergent_logs_flagged(self):
+        pattern = FailurePattern(2, {})
+        procs = {
+            0: self.FakeProc([("append", 0, 0)]),
+            1: self.FakeProc([("append", 1, 0)]),
+        }
+        report = check_smr(pattern, procs, {0: [("append", 0, 0)], 1: [("append", 1, 0)]})
+        assert not report.ok
+        assert any("agreement" in v for v in report.violations)
+
+    def test_prefix_logs_allowed(self):
+        pattern = FailurePattern(2, {})
+        full = [("append", 0, 0), ("append", 0, 1)]
+        procs = {0: self.FakeProc(full), 1: self.FakeProc(full[:1])}
+        assert check_smr(pattern, procs, {0: full}).ok
+
+    def test_unsubmitted_command_flagged(self):
+        pattern = FailurePattern(1, {})
+        procs = {0: self.FakeProc([("append", 9, 9)])}
+        report = check_smr(pattern, procs, {0: []})
+        assert any("validity" in v for v in report.violations)
+
+    def test_duplicate_command_flagged(self):
+        pattern = FailurePattern(1, {})
+        cmd = ("append", 0, 0)
+        procs = {0: self.FakeProc([cmd, cmd])}
+        report = check_smr(pattern, procs, {0: [cmd]})
+        assert any("duplication" in v for v in report.violations)
+
+    def test_misapplied_state_machine_flagged(self):
+        pattern = FailurePattern(1, {})
+        cmd = ("append", 0, 0)
+        procs = {0: self.FakeProc([cmd], applied=[])}
+        report = check_smr(pattern, procs, {0: [cmd]})
+        assert any("application" in v for v in report.violations)

@@ -1,0 +1,47 @@
+"""Shared hypothesis strategies for the property-test suites."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.kernel.failures import FailurePattern
+
+
+@st.composite
+def failure_patterns(draw, min_n=2, max_n=6, max_crash_time=50, min_correct=1):
+    """A random failure pattern with at least ``min_correct`` correct."""
+    n = draw(st.integers(min_n, max_n))
+    max_faulty = n - min_correct
+    faulty_count = draw(st.integers(0, max_faulty))
+    crashed = draw(
+        st.lists(
+            st.integers(0, n - 1),
+            min_size=faulty_count,
+            max_size=faulty_count,
+            unique=True,
+        )
+    )
+    times = {
+        p: draw(st.integers(0, max_crash_time), label=f"crash_time[{p}]")
+        for p in crashed
+    }
+    return FailurePattern(n, times)
+
+
+@st.composite
+def quorums(draw, n, nonempty=True):
+    members = draw(
+        st.lists(st.integers(0, n - 1), min_size=1 if nonempty else 0, unique=True)
+    )
+    return frozenset(members)
+
+
+@st.composite
+def binary_proposals(draw, n):
+    return {p: draw(st.sampled_from([0, 1])) for p in range(n)}
+
+
+def seeded_rng(seed: int) -> random.Random:
+    return random.Random(seed)

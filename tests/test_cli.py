@@ -1,0 +1,99 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_crash_parsing(self):
+        args = build_parser().parse_args(
+            ["consensus", "--crash", "1:5", "--crash", "2:10"]
+        )
+        from repro.cli import _parse_crashes
+
+        assert _parse_crashes(args.crash) == {1: 5, 2: 10}
+
+    def test_bad_crash_spec_rejected(self):
+        from repro.cli import _parse_crashes
+
+        with pytest.raises(SystemExit):
+            _parse_crashes(["nonsense"])
+
+
+class TestCommands:
+    def test_consensus_anuc(self, capsys):
+        code = main(["consensus", "--n", "3", "--crash", "2:10", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "decided" in out
+        assert "nonuniform: ok" in out
+
+    def test_consensus_stack_with_transcript(self, capsys):
+        code = main(
+            [
+                "consensus",
+                "--n",
+                "2",
+                "--algorithm",
+                "stack",
+                "--transcript",
+                "3",
+                "--seed",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "emulated Sigma^nu+" in out
+        assert "t=0" in out
+
+    def test_adversary_breaks_half(self, capsys):
+        code = main(["adversary", "--n", "4", "--t", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VIOLATED" in out
+
+    def test_adversary_survives_minority(self, capsys):
+        code = main(["adversary", "--n", "5", "--t", "2"])
+        assert code == 0
+        assert "survived" in capsys.readouterr().out
+
+    def test_contamination_naive(self, capsys):
+        code = main(["contamination", "naive"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CONTAMINATED (as the paper predicts)" in out
+
+    def test_contamination_anuc(self, capsys):
+        code = main(["contamination", "anuc"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "safe (as the paper predicts)" in out
+
+    def test_experiment_quick(self, capsys):
+        code = main(["experiment", "exp5", "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "EXP-5" in out
+
+    def test_extract(self, capsys):
+        code = main(["extract", "--n", "3", "--crash", "2:15"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Thm 5.4" in out and "ok" in out
+
+
+class TestReproduceCommand:
+    def test_quick_report_covers_all_experiments(self, capsys, tmp_path):
+        out_file = tmp_path / "report.txt"
+        code = main(["reproduce", "--quick", "--output", str(out_file)])
+        assert code == 0
+        report = out_file.read_text()
+        for i in range(1, 10):
+            assert f"EXP-{i}" in report
+        assert "REPRODUCTION REPORT" in report

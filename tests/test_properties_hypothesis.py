@@ -1,0 +1,178 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Each property here quantifies over randomly generated patterns, histories
+or runs; the paper's invariants must hold on every draw.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from tests.strategies import binary_proposals, failure_patterns
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestDetectorProperties:
+    @SETTINGS
+    @given(pattern=failure_patterns(), seed=st.integers(0, 10**6))
+    def test_sigma_nu_plus_histories_imply_sigma_nu(self, pattern, seed):
+        from repro.detectors import SigmaNuPlus, check_sigma_nu, check_sigma_nu_plus
+
+        history = SigmaNuPlus().sample_history(pattern, random.Random(seed))
+        assert check_sigma_nu_plus(history, pattern, 200).ok
+        assert check_sigma_nu(history, pattern, 200).ok
+
+    @SETTINGS
+    @given(pattern=failure_patterns(), seed=st.integers(0, 10**6))
+    def test_sigma_histories_imply_sigma_nu(self, pattern, seed):
+        from repro.detectors import Sigma, check_sigma, check_sigma_nu
+
+        history = Sigma("pivot").sample_history(pattern, random.Random(seed))
+        assert check_sigma(history, pattern, 200).ok
+        assert check_sigma_nu(history, pattern, 200).ok
+
+    @SETTINGS
+    @given(pattern=failure_patterns(min_n=3), seed=st.integers(0, 10**6))
+    def test_omega_stabilization_reported_consistently(self, pattern, seed):
+        from repro.detectors import Omega, check_omega
+
+        history = Omega().sample_history(pattern, random.Random(seed))
+        result = check_omega(history, pattern, 300)
+        assert result.ok
+        leader = result.details["leader"]
+        stab = result.stabilization_time
+        for q in pattern.correct:
+            for t in range(stab, 301, 17):
+                assert history.value(q, t) == leader
+
+
+class TestConsensusProperties:
+    @SETTINGS
+    @given(
+        pattern=failure_patterns(min_n=2, max_n=4, max_crash_time=40),
+        seed=st.integers(0, 1000),
+        data=st.data(),
+    )
+    def test_anuc_safety_on_random_configurations(self, pattern, seed, data):
+        """Termination+validity+nonuniform agreement under random patterns
+        and binary proposals."""
+        from repro.consensus import check_nonuniform_consensus
+        from repro.harness.runner import run_nuc
+
+        proposals = data.draw(binary_proposals(pattern.n))
+        outcome = run_nuc(pattern, proposals, seed=seed, max_steps=25000)
+        assert outcome.result.stop_reason == "stop_condition"
+        assert outcome.nonuniform.ok, outcome.nonuniform.violations
+
+    @SETTINGS
+    @given(
+        pattern=failure_patterns(min_n=2, max_n=4, max_crash_time=40),
+        seed=st.integers(0, 1000),
+    )
+    def test_quorum_mr_uniform_agreement(self, pattern, seed):
+        from repro.consensus import (
+            QuorumMR,
+            check_uniform_consensus,
+            consensus_outcome,
+        )
+        from repro.detectors import Omega, PairedDetector, Sigma
+        from tests.conftest import run_live_consensus
+
+        proposals = {p: p % 2 for p in range(pattern.n)}
+        result = run_live_consensus(
+            QuorumMR(),
+            PairedDetector(Omega(), Sigma("pivot")),
+            pattern,
+            proposals,
+            seed=seed,
+        )
+        outcome = consensus_outcome(result, proposals)
+        assert check_uniform_consensus(outcome).ok
+
+
+class TestBoostingProperties:
+    @SETTINGS
+    @given(
+        pattern=failure_patterns(min_n=2, max_n=5, max_crash_time=40),
+        seed=st.integers(0, 1000),
+        style=st.sampled_from(["selfish", "junk", "obedient"]),
+    )
+    def test_booster_output_always_valid(self, pattern, seed, style):
+        from repro.detectors import SigmaNu
+        from repro.harness.runner import run_boosting
+
+        outcome = run_boosting(
+            pattern, seed=seed, detector=SigmaNu(style), min_outputs=4
+        )
+        assert outcome.check.ok, outcome.check.violations[:2]
+
+
+class TestDagProperties:
+    @SETTINGS
+    @given(
+        n=st.integers(2, 5),
+        ops=st.integers(5, 60),
+        seed=st.integers(0, 10**6),
+    )
+    def test_frontier_representation_sound(self, n, ops, seed):
+        """is_ancestor via frontiers == reachability via explicit closure."""
+        from repro.core.dag import DagCore, SampleDAG
+
+        rng = random.Random(seed)
+        cores = [DagCore(p, n) for p in range(n)]
+        created = []
+        parents = {}  # key -> set of keys present at creation
+        for t in range(ops):
+            p = rng.randrange(n)
+            if rng.random() < 0.6:
+                cores[p].absorb(cores[rng.randrange(n)].dag)
+            before = {s.key for s in cores[p].dag.nodes()}
+            sample = cores[p].sample(t, t)
+            parents[sample.key] = before
+            created.append(sample)
+
+        # brute-force reachability: u reaches v iff u was present when v was
+        # created, or u reaches some w present when v was created
+        import functools
+
+        @functools.lru_cache(maxsize=None)
+        def reaches(u_key, v_key):
+            if u_key == v_key:
+                return False
+            direct = u_key in parents[v_key]
+            if direct:
+                return True
+            return any(reaches(u_key, w) for w in parents[v_key])
+
+        for u in created:
+            for v in created:
+                assert SampleDAG.is_ancestor(u, v) == reaches(u.key, v.key), (
+                    u,
+                    v,
+                )
+
+    @SETTINGS
+    @given(
+        n=st.integers(2, 4),
+        ops=st.integers(10, 50),
+        seed=st.integers(0, 10**6),
+    )
+    def test_balanced_chain_always_a_path(self, n, ops, seed):
+        from repro.core.dag import DagCore, SampleDAG, balanced_chain
+
+        rng = random.Random(seed)
+        cores = [DagCore(p, n) for p in range(n)]
+        for t in range(ops):
+            p = rng.randrange(n)
+            if rng.random() < 0.5:
+                cores[p].absorb(cores[rng.randrange(n)].dag)
+            cores[p].sample(t, t)
+        chain = balanced_chain(cores[0].dag.nodes())
+        for u, v in zip(chain, chain[1:]):
+            assert SampleDAG.is_ancestor(u, v)
