@@ -15,7 +15,28 @@ from repro.kernel.system import System
 
 
 def test_system_step_throughput(benchmark):
-    """Steps/second of the live kernel running quorum-MR on 5 processes."""
+    """Steps/second of the live kernel running quorum-MR on 5 processes.
+
+    Uses ``trace="metrics"`` — the sweep configuration, where per-step
+    records are skipped.  The executed run is identical to the full-trace
+    run, so this measures the kernel itself, not trace bookkeeping.
+    """
+    pattern = FailurePattern(5, {})
+    detector = PairedDetector(Omega(), Sigma("pivot"))
+    history = detector.sample_history(pattern, random.Random(0))
+
+    def run_steps():
+        processes = {p: AutomatonProcess(QuorumMR(), p % 2) for p in range(5)}
+        system = System(processes, pattern, history, seed=0, trace="metrics")
+        system.run(max_steps=300)
+        return system.time
+
+    steps = benchmark(run_steps)
+    assert steps == 300
+
+
+def test_system_step_throughput_full_trace(benchmark):
+    """Same workload with the default full trace (records + query log)."""
     pattern = FailurePattern(5, {})
     detector = PairedDetector(Omega(), Sigma("pivot"))
     history = detector.sample_history(pattern, random.Random(0))
@@ -23,8 +44,8 @@ def test_system_step_throughput(benchmark):
     def run_steps():
         processes = {p: AutomatonProcess(QuorumMR(), p % 2) for p in range(5)}
         system = System(processes, pattern, history, seed=0)
-        system.run(max_steps=300)
-        return system.time
+        result = system.run(max_steps=300)
+        return len(result.steps)
 
     steps = benchmark(run_steps)
     assert steps == 300

@@ -1,0 +1,212 @@
+"""Kernel performance report: ``python benchmarks/bench_report.py``.
+
+Measures the run engine and the sweep driver and writes ``BENCH_kernel.json``
+(repo root by default):
+
+* kernel step throughput on the quorum-MR micro workload, in both trace
+  modes (``"full"`` and ``"metrics"``), plus the metrics/full speedup;
+* wall time of each EXP-1..EXP-9 sweep at its quick parameterization;
+* one serial-vs-parallel sweep comparison (``jobs=1`` against ``--jobs N``)
+  with the observed speedup.  On single-CPU machines the honest number is
+  ~1.0x or below — the driver exists for multi-core hosts, and correctness
+  (bit-identical tables for every job count) is covered by the test suite.
+
+``--quick`` trims repeats and times only a sweep subset so CI stays fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+MICRO_STEPS = 300
+MICRO_N = 5
+
+QUICK_OVERRIDES = {
+    "exp1": dict(ns=(2, 3), seeds=(0,)),
+    "exp2": dict(ns=(2, 3), seeds=(0,)),
+    "exp3": dict(ns=(3,), seeds=(0,)),
+    "exp4": dict(cases=((2, 1), (4, 2), (3, 1)), seeds=(0,)),
+    "exp5": dict(seeds=(0,)),
+    "exp6": dict(seeds=range(3)),
+    "exp7": dict(ns=(2, 3), seeds=(0,)),
+    "exp8": dict(n=3, crash_times=(0,), seeds=(0,)),
+    "exp9": dict(seeds=(0,)),
+}
+
+QUICK_SUBSET = ("exp1", "exp2", "exp6")
+
+
+def _micro_run(trace: str) -> int:
+    import random
+
+    from repro.consensus.quorum_mr import QuorumMR
+    from repro.detectors import Omega, PairedDetector, Sigma
+    from repro.kernel.automaton import AutomatonProcess
+    from repro.kernel.failures import FailurePattern
+    from repro.kernel.system import System
+
+    pattern = FailurePattern(MICRO_N, {})
+    detector = PairedDetector(Omega(), Sigma("pivot"))
+    history = detector.sample_history(pattern, random.Random(0))
+    processes = {
+        p: AutomatonProcess(QuorumMR(), p % 2) for p in range(MICRO_N)
+    }
+    system = System(processes, pattern, history, seed=0, trace=trace)
+    system.run(max_steps=MICRO_STEPS)
+    return system.time
+
+
+def bench_kernel(repeats: int) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "workload": (
+            f"quorum-MR over (Omega, Sigma), n={MICRO_N}, "
+            f"{MICRO_STEPS} steps, RandomFairScheduler/FairRandomDelivery"
+        )
+    }
+    for trace in ("full", "metrics"):
+        _micro_run(trace)  # warm up imports and caches
+        best = min(
+            _timed(_micro_run, trace) for _ in range(repeats)
+        )
+        out[trace] = {
+            "best_ms": round(best * 1e3, 3),
+            "steps_per_sec": round(MICRO_STEPS / best),
+        }
+    out["metrics_speedup_vs_full"] = round(
+        out["full"]["best_ms"] / out["metrics"]["best_ms"], 3
+    )
+    return out
+
+
+def _timed(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def bench_experiments(names) -> List[Dict[str, Any]]:
+    from repro.harness import experiments
+
+    rows = []
+    for name in names:
+        runner = getattr(experiments, _runner_name(name))
+        kwargs = dict(QUICK_OVERRIDES[name])
+        wall = _timed(lambda: runner(**kwargs, jobs=1))
+        rows.append({"name": name, "wall_s": round(wall, 3), "jobs": 1})
+        print(f"  {name}: {wall:.2f}s", flush=True)
+    return rows
+
+
+def _runner_name(name: str) -> str:
+    suffixes = {
+        "exp1": "nuc_sufficiency",
+        "exp2": "boosting",
+        "exp3": "extraction",
+        "exp4": "separation",
+        "exp5": "contamination",
+        "exp6": "merging",
+        "exp7": "scaling",
+        "exp8": "exhaustive",
+        "exp9": "registers",
+    }
+    return f"{name}_{suffixes[name]}"
+
+
+def bench_parallel(jobs: int) -> Dict[str, Any]:
+    from repro.harness import experiments
+
+    kwargs = dict(QUICK_OVERRIDES["exp1"])
+    serial = _timed(lambda: experiments.exp1_nuc_sufficiency(**kwargs, jobs=1))
+    parallel = _timed(
+        lambda: experiments.exp1_nuc_sufficiency(**kwargs, jobs=jobs)
+    )
+    return {
+        "experiment": "exp1",
+        "serial_s": round(serial, 3),
+        "parallel_s": round(parallel, 3),
+        "jobs": jobs,
+        "speedup": round(serial / parallel, 3) if parallel else None,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer repeats; sweep subset " + "/".join(QUICK_SUBSET),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker count for the parallel comparison (default 2)",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_kernel.json"),
+        metavar="FILE",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 10 if args.quick else 40
+    names = QUICK_SUBSET if args.quick else tuple(QUICK_OVERRIDES)
+
+    print("kernel micro-benchmark ...", flush=True)
+    kernel = bench_kernel(repeats)
+    print(
+        f"  full: {kernel['full']['steps_per_sec']:,} steps/s   "
+        f"metrics: {kernel['metrics']['steps_per_sec']:,} steps/s   "
+        f"({kernel['metrics_speedup_vs_full']}x)",
+        flush=True,
+    )
+    print("experiment sweeps (quick parameterization) ...", flush=True)
+    experiments = bench_experiments(names)
+    print(f"serial vs --jobs {args.jobs} (exp1) ...", flush=True)
+    sweep = bench_parallel(args.jobs)
+    print(
+        f"  serial {sweep['serial_s']}s, parallel {sweep['parallel_s']}s, "
+        f"speedup {sweep['speedup']}x",
+        flush=True,
+    )
+
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        affinity = None
+    report = {
+        "schema": "bench-kernel/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": args.quick,
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "cpu_affinity": affinity,
+        },
+        "kernel": kernel,
+        "experiments": experiments,
+        "sweep_parallelism": sweep,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,7 +94,8 @@ def cmd_experiment(args) -> int:
         "exp9": dict(seeds=(0,)),
     }
     runner = runners[args.name]
-    kwargs = quick_overrides[args.name] if args.quick else {}
+    kwargs = dict(quick_overrides[args.name]) if args.quick else {}
+    kwargs["jobs"] = args.jobs
     table = runner(**kwargs)
     print(table.render())
     return 0
@@ -185,7 +186,7 @@ def cmd_reproduce(args) -> int:
     sections = []
     for label, runner, kwargs in plan:
         print(f"running {label} ...", flush=True)
-        table = runner(**kwargs)
+        table = runner(**kwargs, jobs=args.jobs)
         sections.append(table.render())
     report = (
         "REPRODUCTION REPORT\n"
@@ -249,6 +250,14 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--quick", action="store_true", help="small parameterization"
     )
+    experiment.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep (default 1 = serial; "
+        "results are identical for every N)",
+    )
     experiment.set_defaults(func=cmd_experiment)
 
     contamination = sub.add_parser(
@@ -286,6 +295,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reproduce.add_argument(
         "--output", default=None, metavar="FILE", help="also write the report"
+    )
+    reproduce.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per sweep (default 1 = serial)",
     )
     reproduce.set_defaults(func=cmd_reproduce)
 

@@ -14,6 +14,9 @@ from repro.detectors.base import (
     History,
     RecordedHistory,
     ScheduleHistory,
+    clear_history_cache,
+    history_cache_info,
+    sample_history_cached,
 )
 from repro.detectors.checkers import (
     CheckResult,
@@ -52,5 +55,8 @@ __all__ = [
     "check_sigma",
     "check_sigma_nu",
     "check_sigma_nu_plus",
+    "clear_history_cache",
+    "history_cache_info",
     "recorded_output_history",
+    "sample_history_cached",
 ]

@@ -24,6 +24,9 @@ class PairedHistory(History):
         self.components = tuple(components)
 
     def value(self, p: int, t: int) -> Tuple[Any, ...]:
+        components = self.components
+        if len(components) == 2:  # the common case: pairs like (Omega, Sigma)
+            return (components[0].value(p, t), components[1].value(p, t))
         return tuple(component.value(p, t) for component in self.components)
 
     def project(self, index: int) -> History:

@@ -4,12 +4,21 @@ Each function runs one experiment family and returns an
 :class:`~repro.analysis.tables.Table` ready to print; EXPERIMENTS.md records
 their reference output.  Sizes are parameterized so the same code serves the
 quick benchmark configuration and fuller offline sweeps.
+
+Every sweep accepts ``jobs``: its independent, seeded runs are dispatched
+through :func:`repro.harness.parallel.run_sweep`, so ``jobs=1`` (the
+default) executes inline exactly as before while ``jobs>1`` fans the runs
+out over worker processes.  Results come back in task order and each run is
+a pure function of its arguments, so the rendered tables are identical for
+every ``jobs`` value.  Sweeps whose tables only need decisions and counts
+run their systems under ``trace="metrics"``; EXP-7 keeps full traces (its
+round estimate reads the step log).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.analysis.stats import rate, summarize
 from repro.analysis.tables import Table
@@ -21,19 +30,19 @@ from repro.detectors.paired import PairedDetector
 from repro.detectors.perfect import Perfect
 from repro.detectors.sigma import Sigma
 from repro.detectors.sigma_nu import SigmaNu
+from repro.harness.parallel import SweepTask, run_sweep
 from repro.harness.runner import (
     random_binary_proposals,
     random_pattern,
     run_boosting,
+    run_consensus_algorithm,
     run_extraction,
     run_from_scratch_sigma,
     run_nuc,
     run_stack,
 )
 from repro.kernel.failures import FailurePattern
-from repro.separation.adversary import run_partition_adversary
 from repro.separation.contamination import run_contamination_scenario
-from repro.separation.from_scratch_sigma import FromScratchSigma
 
 
 def exp1_nuc_sufficiency(
@@ -41,6 +50,7 @@ def exp1_nuc_sufficiency(
     seeds: Sequence[int] = tuple(range(5)),
     max_steps: int = 30000,
     include_stack: bool = True,
+    jobs: int = 1,
 ) -> Table:
     """EXP-1 (Thms 6.27/6.28): A_nuc and the full stack solve nonuniform
     consensus in any environment, including minority-correct ones."""
@@ -57,42 +67,63 @@ def exp1_nuc_sufficiency(
             "mean_msgs",
         ],
     )
+    tasks: List[SweepTask] = []
+    groups: List[Tuple[str, int, int]] = []  # (algo, n, task count)
     for n in ns:
-        outcomes = []
         for seed in seeds:
             rng = random.Random((seed + 1) * 7919 + n)
             pattern = random_pattern(n, rng)
             proposals = random_binary_proposals(n, rng)
-            outcomes.append(run_nuc(pattern, proposals, seed=seed, max_steps=max_steps))
-        table.add_row(
-            "A_nuc",
-            n,
-            len(outcomes),
-            sum(1 for o in outcomes if o.metrics.all_correct_decided),
-            all(o.nonuniform.ok for o in outcomes),
-            summarize(o.metrics.steps for o in outcomes).mean,
-            summarize(o.metrics.messages_sent for o in outcomes).mean,
-        )
+            tasks.append(
+                SweepTask(
+                    run_nuc,
+                    dict(
+                        pattern=pattern,
+                        proposals=proposals,
+                        seed=seed,
+                        max_steps=max_steps,
+                        trace="metrics",
+                    ),
+                )
+            )
+        groups.append(("A_nuc", n, len(seeds)))
         if include_stack:
-            outcomes = []
             for seed in seeds:
                 rng = random.Random((seed + 1) * 104729 + n)
                 pattern = random_pattern(n, rng)
                 proposals = random_binary_proposals(n, rng)
-                outcomes.append(
-                    run_stack(pattern, proposals, seed=seed, max_steps=2 * max_steps)
+                tasks.append(
+                    SweepTask(
+                        run_stack,
+                        dict(
+                            pattern=pattern,
+                            proposals=proposals,
+                            seed=seed,
+                            max_steps=2 * max_steps,
+                            trace="metrics",
+                        ),
+                    )
                 )
-            table.add_row(
-                "stack",
-                n,
-                len(outcomes),
-                sum(1 for o in outcomes if o.metrics.all_correct_decided),
-                all(
-                    o.nonuniform.ok and o.boosted_check.ok for o in outcomes
-                ),
-                summarize(o.metrics.steps for o in outcomes).mean,
-                summarize(o.metrics.messages_sent for o in outcomes).mean,
-            )
+            groups.append(("stack", n, len(seeds)))
+    results = run_sweep(tasks, jobs=jobs)
+    cursor = 0
+    for algo, n, count in groups:
+        outcomes = results[cursor : cursor + count]
+        cursor += count
+        agreement = (
+            all(o.nonuniform.ok for o in outcomes)
+            if algo == "A_nuc"
+            else all(o.nonuniform.ok and o.boosted_check.ok for o in outcomes)
+        )
+        table.add_row(
+            algo,
+            n,
+            len(outcomes),
+            sum(1 for o in outcomes if o.metrics.all_correct_decided),
+            agreement,
+            summarize(o.metrics.steps for o in outcomes).mean,
+            summarize(o.metrics.messages_sent for o in outcomes).mean,
+        )
     table.add_note(
         "failure patterns sample up to n-1 crashes; 'agreement_ok' also "
         "covers validity and, for the stack, the emulated Sigma^nu+ checks"
@@ -104,6 +135,7 @@ def exp2_boosting(
     ns: Sequence[int] = (2, 3, 4, 5, 6),
     seeds: Sequence[int] = tuple(range(5)),
     faulty_styles: Sequence[str] = ("selfish", "junk", "obedient"),
+    jobs: int = 1,
 ) -> Table:
     """EXP-2 (Thm 6.7): the booster's output satisfies all four Sigma^nu+
     properties in any environment."""
@@ -111,29 +143,70 @@ def exp2_boosting(
         "EXP-2: T_{Sigma^nu -> Sigma^nu+} output validity",
         ["n", "faulty_style", "runs", "all_valid", "mean_outputs", "mean_steps"],
     )
+    tasks: List[SweepTask] = []
+    groups: List[Tuple[int, str]] = []
     for n in ns:
         for style in faulty_styles:
-            outcomes = []
             for seed in seeds:
                 rng = random.Random((seed + 1) * 31 + n)
                 pattern = random_pattern(n, rng, max_crash_time=50)
-                outcomes.append(
-                    run_boosting(pattern, seed=seed, detector=SigmaNu(style))
+                tasks.append(
+                    SweepTask(
+                        run_boosting,
+                        dict(
+                            pattern=pattern,
+                            seed=seed,
+                            detector=SigmaNu(style),
+                            trace="metrics",
+                        ),
+                    )
                 )
-            table.add_row(
-                n,
-                style,
-                len(outcomes),
-                all(o.check.ok for o in outcomes),
-                summarize(o.metrics.outputs_emitted for o in outcomes).mean,
-                summarize(o.metrics.steps for o in outcomes).mean,
-            )
+            groups.append((n, style))
+    results = run_sweep(tasks, jobs=jobs)
+    cursor = 0
+    for n, style in groups:
+        outcomes = results[cursor : cursor + len(seeds)]
+        cursor += len(seeds)
+        table.add_row(
+            n,
+            style,
+            len(outcomes),
+            all(o.check.ok for o in outcomes),
+            summarize(o.metrics.outputs_emitted for o in outcomes).mean,
+            summarize(o.metrics.steps for o in outcomes).mean,
+        )
     return table
+
+
+def _exp3_subject(label: str):
+    """Construct the (subject automaton, detector) pair for an EXP-3 row.
+
+    Built inside the worker process so nothing but the label needs to cross
+    the process boundary.
+    """
+    from repro.consensus.chandra_toueg import ChandraTouegS
+    from repro.detectors.perfect import EventuallyPerfect
+
+    if label == "(Omega,Sigma) / quorum-MR":
+        return QuorumMR(), PairedDetector(Omega(), Sigma("pivot"))
+    if label == "P / floodset":
+        return FloodSetPerfect(), Perfect(lag=4)
+    if label == "Omega / MR (majority env)":
+        return MostefaouiRaynal(), Omega()
+    if label == "<>P / Chandra-Toueg (majority env)":
+        return ChandraTouegS(), EventuallyPerfect()
+    raise ValueError(f"unknown EXP-3 subject {label!r}")
+
+
+def _exp3_task(label: str, pattern: FailurePattern, seed: int):
+    subject, detector = _exp3_subject(label)
+    return run_extraction(subject, detector, pattern, seed=seed, trace="metrics")
 
 
 def exp3_extraction(
     ns: Sequence[int] = (3, 4),
     seeds: Sequence[int] = tuple(range(3)),
+    jobs: int = 1,
 ) -> Table:
     """EXP-3 (Thms 5.4/5.8): T_{D -> Sigma^nu} over several (D, A) pairs.
 
@@ -141,47 +214,68 @@ def exp3_extraction(
     detector, the extracted history must satisfy full Sigma as well
     (Theorem 5.8) — both verdicts are reported.
     """
-    from repro.consensus.chandra_toueg import ChandraTouegS
-    from repro.detectors.perfect import EventuallyPerfect
-
     subjects = [
-        ("(Omega,Sigma) / quorum-MR", QuorumMR(), lambda: PairedDetector(Omega(), Sigma("pivot")), None),
-        ("P / floodset", FloodSetPerfect(), lambda: Perfect(lag=4), None),
-        ("Omega / MR (majority env)", MostefaouiRaynal(), lambda: Omega(), "majority"),
-        ("<>P / Chandra-Toueg (majority env)", ChandraTouegS(), lambda: EventuallyPerfect(), "majority"),
+        ("(Omega,Sigma) / quorum-MR", None),
+        ("P / floodset", None),
+        ("Omega / MR (majority env)", "majority"),
+        ("<>P / Chandra-Toueg (majority env)", "majority"),
     ]
     table = Table(
         "EXP-3: necessity extraction T_{D -> Sigma^nu}",
         ["subject", "n", "runs", "sigma_nu_ok", "sigma_ok", "mean_quorum_size"],
     )
-    for label, subject, detector_factory, env in subjects:
+    tasks: List[SweepTask] = []
+    groups: List[Tuple[str, int]] = []
+    for label, env in subjects:
         for n in ns:
-            outcomes = []
             for seed in seeds:
                 rng = random.Random((seed + 1) * 53 + n)
                 max_faulty = (n - 1) // 2 if env == "majority" else n - 1
-                pattern = random_pattern(n, rng, max_faulty=max_faulty, max_crash_time=40)
-                outcomes.append(
-                    run_extraction(subject, detector_factory(), pattern, seed=seed)
+                pattern = random_pattern(
+                    n, rng, max_faulty=max_faulty, max_crash_time=40
                 )
-            sizes: List[int] = []
-            for o in outcomes:
-                for p, events in o.result.outputs.items():
-                    sizes.extend(len(q) for _, q in events[1:])
-            table.add_row(
-                label,
-                n,
-                len(outcomes),
-                all(o.sigma_nu_check.ok for o in outcomes),
-                all(o.sigma_check.ok for o in outcomes),
-                summarize(sizes).mean if sizes else float("nan"),
-            )
+                tasks.append(
+                    SweepTask(
+                        _exp3_task,
+                        dict(label=label, pattern=pattern, seed=seed),
+                    )
+                )
+            groups.append((label, n))
+    results = run_sweep(tasks, jobs=jobs)
+    cursor = 0
+    for label, n in groups:
+        outcomes = results[cursor : cursor + len(seeds)]
+        cursor += len(seeds)
+        sizes: List[int] = []
+        for o in outcomes:
+            for p, events in o.result.outputs.items():
+                sizes.extend(len(q) for _, q in events[1:])
+        table.add_row(
+            label,
+            n,
+            len(outcomes),
+            all(o.sigma_nu_check.ok for o in outcomes),
+            all(o.sigma_check.ok for o in outcomes),
+            summarize(sizes).mean if sizes else float("nan"),
+        )
     return table
+
+
+def _exp4_adversary_task(n: int, t: int, seed: int):
+    """One Theorem 7.1 adversary run (the process factory closes over
+    ``(n, t)`` inside the worker; closures don't pickle)."""
+    from repro.separation.adversary import run_partition_adversary
+    from repro.separation.from_scratch_sigma import FromScratchSigma
+
+    return run_partition_adversary(
+        lambda pid: FromScratchSigma(n, t), n, t, seed=seed
+    )
 
 
 def exp4_separation(
     cases: Sequence[Tuple[int, int]] = ((2, 1), (4, 2), (5, 3), (6, 3), (3, 1), (5, 2)),
     seeds: Sequence[int] = (0, 1),
+    jobs: int = 1,
 ) -> Table:
     """EXP-4 (Thm 7.1): (Omega, Sigma^nu) vs (Omega, Sigma) by environment.
 
@@ -194,27 +288,45 @@ def exp4_separation(
         "EXP-4: Theorem 7.1 separation — E_t environments",
         ["n", "t", "t<n/2", "from-scratch Sigma valid", "adversary verdict"],
     )
+    tasks: List[SweepTask] = []
+    groups: List[Tuple[int, int, bool]] = []
     for n, t in cases:
         majority = t < n / 2
         if majority:
-            ok = True
             for seed in seeds:
                 rng = random.Random(seed * 17 + n)
                 crashed = rng.sample(range(n), t)
                 pattern = FailurePattern(
                     n, {p: rng.randint(0, 30) for p in crashed}
                 )
-                outcome = run_from_scratch_sigma(n, t, pattern, seed=seed)
-                ok = ok and outcome.check.ok
+                tasks.append(
+                    SweepTask(
+                        run_from_scratch_sigma,
+                        dict(
+                            n=n,
+                            t=t,
+                            pattern=pattern,
+                            seed=seed,
+                            trace="metrics",
+                        ),
+                    )
+                )
+        else:
+            for seed in seeds:
+                tasks.append(
+                    SweepTask(_exp4_adversary_task, dict(n=n, t=t, seed=seed))
+                )
+        groups.append((n, t, majority))
+    results = run_sweep(tasks, jobs=jobs)
+    cursor = 0
+    for n, t, majority in groups:
+        outcomes = results[cursor : cursor + len(seeds)]
+        cursor += len(seeds)
+        if majority:
+            ok = all(o.check.ok for o in outcomes)
             table.add_row(n, t, True, ok, "adversary inapplicable (no partition)")
         else:
-            verdicts = [
-                run_partition_adversary(
-                    lambda pid, n=n, t=t: FromScratchSigma(n, t), n, t, seed=seed
-                )
-                for seed in seeds
-            ]
-            broke = all(v.violated for v in verdicts)
+            broke = all(v.violated for v in outcomes)
             table.add_row(
                 n,
                 t,
@@ -229,7 +341,7 @@ def exp4_separation(
     return table
 
 
-def exp5_contamination(seeds: Sequence[int] = (0, 1, 2)) -> Table:
+def exp5_contamination(seeds: Sequence[int] = (0, 1, 2), jobs: int = 1) -> Table:
     """EXP-5 (Section 6.3): the naive Sigma^nu quorum algorithm is
     contaminable; A_nuc is not, under the same scenario family."""
     table = Table(
@@ -243,20 +355,24 @@ def exp5_contamination(seeds: Sequence[int] = (0, 1, 2)) -> Table:
             "distrust events",
         ],
     )
-    for algorithm in ("naive", "anuc"):
-        for seed in seeds:
-            report = run_contamination_scenario(algorithm, seed=seed)
-            correct_decisions = {
-                p: v for p, v in report.decisions.items() if p in (0, 1)
-            }
-            table.add_row(
-                algorithm,
-                seed,
-                str(correct_decisions),
-                report.contaminated,
-                report.omega_check.ok and report.sigma_check.ok,
-                len(report.distrust_events),
-            )
+    tasks = [
+        SweepTask(run_contamination_scenario, dict(algorithm=algorithm, seed=seed))
+        for algorithm in ("naive", "anuc")
+        for seed in seeds
+    ]
+    results = run_sweep(tasks, jobs=jobs)
+    for task, report in zip(tasks, results):
+        correct_decisions = {
+            p: v for p, v in report.decisions.items() if p in (0, 1)
+        }
+        table.add_row(
+            task.kwargs["algorithm"],
+            task.kwargs["seed"],
+            str(correct_decisions),
+            report.contaminated,
+            report.omega_check.ok and report.sigma_check.ok,
+            len(report.distrust_events),
+        )
     table.add_note(
         "expected: naive violates nonuniform agreement in every seed; "
         "A_nuc never does and shows distrust activity instead"
@@ -267,6 +383,7 @@ def exp5_contamination(seeds: Sequence[int] = (0, 1, 2)) -> Table:
 def exp6_merging(
     seeds: Sequence[int] = tuple(range(10)),
     n: int = 5,
+    jobs: int = 1,
 ) -> Table:
     """EXP-6 (Lemma 2.2): merged mergeable runs are runs, and participants'
     final states are preserved."""
@@ -276,8 +393,12 @@ def exp6_merging(
         "EXP-6: Lemma 2.2 merging of mergeable runs",
         ["seed", "|S0|", "|S1|", "merged is run", "states preserved"],
     )
-    for seed in seeds:
-        report = random_mergeable_pair_report(n, seed)
+    tasks = [
+        SweepTask(random_mergeable_pair_report, dict(n=n, seed=seed))
+        for seed in seeds
+    ]
+    results = run_sweep(tasks, jobs=jobs)
+    for seed, report in zip(seeds, results):
         table.add_row(
             seed,
             report.len0,
@@ -288,59 +409,91 @@ def exp6_merging(
     return table
 
 
+def _exp7_task(algo: str, pattern: FailurePattern, proposals: Dict[int, Any], seed: int):
+    """One EXP-7 run; algorithms and detectors are built in the worker.
+
+    Full traces are kept: the round estimate reads LEAD tags out of the
+    step log.
+    """
+    if algo == "MR (Omega, majority env)":
+        return run_consensus_algorithm(
+            MostefaouiRaynal(), Omega(), pattern, proposals, seed=seed
+        )
+    if algo == "quorum-MR (Omega,Sigma)":
+        return run_consensus_algorithm(
+            QuorumMR(),
+            PairedDetector(Omega(), Sigma("pivot")),
+            pattern,
+            proposals,
+            seed=seed,
+        )
+    if algo == "A_nuc (Omega,Sigma^nu+)":
+        return run_nuc(pattern, proposals, seed=seed)
+    raise ValueError(f"unknown EXP-7 algorithm {algo!r}")
+
+
+_EXP7_ALGOS = (
+    "MR (Omega, majority env)",
+    "quorum-MR (Omega,Sigma)",
+    "A_nuc (Omega,Sigma^nu+)",
+)
+
+
 def exp7_scaling(
     ns: Sequence[int] = (2, 3, 4, 5, 6, 7),
     seeds: Sequence[int] = (0, 1, 2),
+    jobs: int = 1,
 ) -> Table:
     """EXP-7 (cost profile): steps and messages to decision for A_nuc vs the
     MR baselines, and booster output cadence, as n grows."""
-    from repro.harness.runner import run_consensus_algorithm
-
     table = Table(
         "EXP-7: scaling — mean steps / messages / rounds to decision",
         ["algo", "n", "mean_steps", "mean_msgs", "mean_rounds", "decided_rate"],
     )
+    tasks: List[SweepTask] = []
+    groups: List[Tuple[str, int]] = []
     for n in ns:
-        rows = {
-            "MR (Omega, majority env)": [],
-            "quorum-MR (Omega,Sigma)": [],
-            "A_nuc (Omega,Sigma^nu+)": [],
-        }
+        per_seed: List[Tuple[FailurePattern, FailurePattern, Dict[int, Any]]] = []
         for seed in seeds:
             rng = random.Random(seed * 13 + n)
             maj_pattern = random_pattern(n, rng, max_faulty=(n - 1) // 2)
             any_pattern = random_pattern(n, rng)
             proposals = random_binary_proposals(n, rng)
-            rows["MR (Omega, majority env)"].append(
-                run_consensus_algorithm(
-                    MostefaouiRaynal(), Omega(), maj_pattern, proposals, seed=seed
+            per_seed.append((maj_pattern, any_pattern, proposals))
+        for algo in _EXP7_ALGOS:
+            for seed, (maj_pattern, any_pattern, proposals) in zip(seeds, per_seed):
+                pattern = (
+                    maj_pattern if algo == "MR (Omega, majority env)" else any_pattern
                 )
-            )
-            rows["quorum-MR (Omega,Sigma)"].append(
-                run_consensus_algorithm(
-                    QuorumMR(),
-                    PairedDetector(Omega(), Sigma("pivot")),
-                    any_pattern,
-                    proposals,
-                    seed=seed,
+                tasks.append(
+                    SweepTask(
+                        _exp7_task,
+                        dict(
+                            algo=algo,
+                            pattern=pattern,
+                            proposals=proposals,
+                            seed=seed,
+                        ),
+                    )
                 )
-            )
-            rows["A_nuc (Omega,Sigma^nu+)"].append(
-                run_nuc(any_pattern, proposals, seed=seed)
-            )
-        for label, outcomes in rows.items():
-            rounds = [r for o in outcomes for r in _decision_rounds(o)]
-            table.add_row(
-                label,
-                n,
-                summarize(o.metrics.steps for o in outcomes).mean,
-                summarize(o.metrics.messages_sent for o in outcomes).mean,
-                summarize(rounds).mean if rounds else float("nan"),
-                rate(
-                    sum(1 for o in outcomes if o.metrics.all_correct_decided),
-                    len(outcomes),
-                ),
-            )
+            groups.append((algo, n))
+    results = run_sweep(tasks, jobs=jobs)
+    cursor = 0
+    for label, n in groups:
+        outcomes = results[cursor : cursor + len(seeds)]
+        cursor += len(seeds)
+        rounds = [r for o in outcomes for r in _decision_rounds(o)]
+        table.add_row(
+            label,
+            n,
+            summarize(o.metrics.steps for o in outcomes).mean,
+            summarize(o.metrics.messages_sent for o in outcomes).mean,
+            summarize(rounds).mean if rounds else float("nan"),
+            rate(
+                sum(1 for o in outcomes if o.metrics.all_correct_decided),
+                len(outcomes),
+            ),
+        )
     return table
 
 
@@ -349,6 +502,7 @@ def exp8_exhaustive(
     crash_times: Sequence[int] = (0, 25),
     seeds: Sequence[int] = (0, 1),
     max_steps: int = 40000,
+    jobs: int = 1,
 ) -> Table:
     """EXP-8: exhaustive environment coverage at small n.
 
@@ -358,6 +512,8 @@ def exp8_exhaustive(
     times this is every subset of up to n-1 processes crashing early or
     late — including every minority-correct pattern.
     """
+    import itertools as _it
+
     from repro.kernel.environment import Environment
 
     env = Environment.any_failures(n)
@@ -366,27 +522,43 @@ def exp8_exhaustive(
         f"times={list(crash_times)})",
         ["crash_set", "patterns", "runs", "decided", "agreement_ok"],
     )
+    tasks: List[SweepTask] = []
+    groups: List[Tuple[List[int], int, int]] = []
     for crash_set in env.enumerate_crash_sets():
         patterns: List[FailurePattern] = []
         members = sorted(crash_set)
         if not members:
             patterns.append(FailurePattern.no_failures(n))
         else:
-            import itertools as _it
-
             for times in _it.product(crash_times, repeat=len(members)):
                 patterns.append(FailurePattern(n, dict(zip(members, times))))
-        outcomes = []
+        count = 0
         for pattern in patterns:
             for seed in seeds:
                 rng = random.Random(f"exp8/{sorted(crash_set)}/{seed}")
                 proposals = random_binary_proposals(n, rng)
-                outcomes.append(
-                    run_nuc(pattern, proposals, seed=seed, max_steps=max_steps)
+                tasks.append(
+                    SweepTask(
+                        run_nuc,
+                        dict(
+                            pattern=pattern,
+                            proposals=proposals,
+                            seed=seed,
+                            max_steps=max_steps,
+                            trace="metrics",
+                        ),
+                    )
                 )
+                count += 1
+        groups.append((members, len(patterns), count))
+    results = run_sweep(tasks, jobs=jobs)
+    cursor = 0
+    for members, pattern_count, count in groups:
+        outcomes = results[cursor : cursor + count]
+        cursor += count
         table.add_row(
             "{" + ",".join(str(p) for p in members) + "}" if members else "{}",
-            len(patterns),
+            pattern_count,
             len(outcomes),
             sum(1 for o in outcomes if o.metrics.all_correct_decided),
             all(o.nonuniform.ok for o in outcomes),
@@ -428,6 +600,7 @@ def _decision_rounds(outcome) -> List[int]:
 
 def exp9_registers(
     seeds: Sequence[int] = (0, 1, 2),
+    jobs: int = 1,
 ) -> Table:
     """EXP-9 (paper intro / [3]'s technique): registers need Sigma.
 
@@ -436,6 +609,9 @@ def exp9_registers(
     produces a checked atomicity violation on a certified-legal history —
     the executable reason the uniform proof route cannot carry the
     nonuniform result.
+
+    The scenario arms are three tiny interactive runs; ``jobs`` is accepted
+    for CLI uniformity but the sweep always executes inline.
     """
     import random as _random
 

@@ -24,7 +24,12 @@ from repro.core.boosting import SigmaNuPlusBooster
 from repro.core.extraction import ExtractionSearch, SigmaNuExtractor
 from repro.core.nuc import AnucProcess
 from repro.core.stack import StackedNucProcess
-from repro.detectors.base import FailureDetector, History, RecordedHistory
+from repro.detectors.base import (
+    FailureDetector,
+    History,
+    RecordedHistory,
+    sample_history_cached,
+)
 from repro.detectors.checkers import (
     CheckResult,
     check_sigma,
@@ -108,9 +113,10 @@ def run_consensus_algorithm(
     max_steps: int = 20000,
     scheduler: Optional[SchedulingPolicy] = None,
     delivery: Optional[DeliveryPolicy] = None,
+    trace: str = "full",
 ) -> ConsensusRunOutcome:
     """Run a pure-automaton consensus algorithm live."""
-    history = detector.sample_history(pattern, random.Random(seed ^ 0x5EED))
+    history = sample_history_cached(detector, pattern, seed)
     processes = {
         p: AutomatonProcess(automaton, proposals[p]) for p in range(pattern.n)
     }
@@ -121,6 +127,7 @@ def run_consensus_algorithm(
         seed=seed,
         scheduler=scheduler,
         delivery=delivery,
+        trace=trace,
     )
     return _finish_consensus(system, proposals, max_steps)
 
@@ -131,13 +138,14 @@ def run_nuc(
     seed: int = 0,
     max_steps: int = 30000,
     detector: Optional[FailureDetector] = None,
+    trace: str = "full",
 ) -> ConsensusRunOutcome:
     """Run A_nuc with a synthetic (Omega, Sigma^nu+) history (Thm 6.27)."""
     if detector is None:
         detector = PairedDetector(Omega(), SigmaNuPlus())
-    history = detector.sample_history(pattern, random.Random(seed ^ 0x5EED))
+    history = sample_history_cached(detector, pattern, seed)
     processes = {p: AnucProcess(proposals[p]) for p in range(pattern.n)}
-    system = System(processes, pattern, history, seed=seed)
+    system = System(processes, pattern, history, seed=seed, trace=trace)
     return _finish_consensus(system, proposals, max_steps)
 
 
@@ -154,11 +162,12 @@ def run_stack(
     seed: int = 0,
     max_steps: int = 60000,
     detector: Optional[FailureDetector] = None,
+    trace: str = "full",
 ) -> StackRunOutcome:
     """Run the composed (Omega, Sigma^nu) solver (Thm 6.28)."""
     if detector is None:
         detector = PairedDetector(Omega(), SigmaNu())
-    history = detector.sample_history(pattern, random.Random(seed ^ 0x5EED))
+    history = sample_history_cached(detector, pattern, seed)
     processes = {
         p: StackedNucProcess(proposals[p], pattern.n) for p in range(pattern.n)
     }
@@ -168,6 +177,7 @@ def run_stack(
         history,
         seed=seed,
         delivery=CoalescingDelivery(),
+        trace=trace,
     )
     base = _finish_consensus(system, proposals, max_steps)
     recorded = recorded_output_history(base.result)
@@ -208,11 +218,12 @@ def run_boosting(
     min_outputs: int = 8,
     extra_steps: int = 200,
     detector: Optional[FailureDetector] = None,
+    trace: str = "full",
 ) -> BoostRunOutcome:
     """Run T_{Sigma^nu -> Sigma^nu+} over a synthetic Sigma^nu history."""
     if detector is None:
         detector = SigmaNu()
-    history = detector.sample_history(pattern, random.Random(seed ^ 0x5EED))
+    history = sample_history_cached(detector, pattern, seed)
     processes = {p: SigmaNuPlusBooster(pattern.n) for p in range(pattern.n)}
     system = System(
         processes,
@@ -220,6 +231,7 @@ def run_boosting(
         history,
         seed=seed,
         delivery=CoalescingDelivery(),
+        trace=trace,
     )
     result = system.run(
         max_steps=max_steps,
@@ -260,6 +272,7 @@ def run_extraction(
     min_outputs: int = 3,
     extra_steps: int = 150,
     search: Optional[ExtractionSearch] = None,
+    trace: str = "full",
 ) -> ExtractionRunOutcome:
     """Run T_{D -> Sigma^nu} with subject algorithm ``subject`` over ``D``.
 
@@ -267,7 +280,7 @@ def run_extraction(
     full Sigma (Thm 5.8 — expected to pass when the subject solves uniform
     consensus with ``D``).
     """
-    history = detector.sample_history(pattern, random.Random(seed ^ 0x5EED))
+    history = sample_history_cached(detector, pattern, seed)
     processes = {
         p: SigmaNuExtractor(subject, pattern.n, search=search)
         for p in range(pattern.n)
@@ -278,6 +291,7 @@ def run_extraction(
         history,
         seed=seed,
         delivery=CoalescingDelivery(),
+        trace=trace,
     )
     result = system.run(
         max_steps=max_steps,
@@ -302,6 +316,7 @@ def run_from_scratch_sigma(
     max_steps: int = 6000,
     min_outputs: int = 6,
     extra_steps: int = 200,
+    trace: str = "full",
 ) -> BoostRunOutcome:
     """Run the detector-free Sigma implementation (Thm 7.1, IF direction).
 
@@ -315,6 +330,7 @@ def run_from_scratch_sigma(
         pattern,
         history=lambda p, t_: None,  # no failure detector at all
         seed=seed,
+        trace=trace,
     )
     result = system.run(
         max_steps=max_steps,

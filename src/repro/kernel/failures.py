@@ -11,7 +11,7 @@ ticks once per step, so crash times are expressed in step indices.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
 
 class FailurePattern:
@@ -26,7 +26,7 @@ class FailurePattern:
         crashed.  Processes absent from the mapping are correct.
     """
 
-    __slots__ = ("_n", "_crash_times", "_faulty", "_correct")
+    __slots__ = ("_n", "_crash_times", "_faulty", "_correct", "_epochs")
 
     def __init__(self, n: int, crash_times: Optional[Mapping[int, int]] = None):
         if n < 1:
@@ -41,6 +41,7 @@ class FailurePattern:
         self._crash_times = times
         self._faulty = frozenset(times)
         self._correct = frozenset(p for p in range(n) if p not in times)
+        self._epochs: Optional[Tuple[Tuple[int, Tuple[int, ...]], ...]] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -83,6 +84,30 @@ class FailurePattern:
 
     def alive_at(self, t: int) -> FrozenSet[int]:
         return frozenset(p for p in range(self._n) if not self.is_crashed(p, t))
+
+    def alive_epochs(self) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
+        """The alive-set timeline as ``((from_time, alive_ids), ...)`` epochs.
+
+        Because processes never recover, ``F`` changes value at most once per
+        distinct crash time; the returned epochs enumerate exactly those
+        changes (first epoch starts at 0, alive ids sorted).  The live system
+        steps through this timeline with a cursor, replacing the per-step
+        ``alive_at(t)`` set construction with an O(1) lookup.
+        """
+        if self._epochs is None:
+            crashes_by_time: Dict[int, list] = {}
+            for p, ct in self._crash_times.items():
+                crashes_by_time.setdefault(ct, []).append(p)
+            alive = set(range(self._n))
+            epochs = []
+            times = sorted(crashes_by_time)
+            if not times or times[0] != 0:
+                epochs.append((0, tuple(sorted(alive))))
+            for ct in times:
+                alive.difference_update(crashes_by_time[ct])
+                epochs.append((ct, tuple(sorted(alive))))
+            self._epochs = tuple(epochs)
+        return self._epochs
 
     @property
     def faulty(self) -> FrozenSet[int]:

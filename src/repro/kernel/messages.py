@@ -51,6 +51,10 @@ class _PendingEntry:
     age_in_dest_steps: int = 0
 
 
+#: Shared empty queue returned for destinations with nothing pending.
+_NO_ENTRIES: List[_PendingEntry] = []
+
+
 class MessageBuffer:
     """The message buffer ``M``, with per-destination pending queues."""
 
@@ -115,7 +119,14 @@ class MessageBuffer:
         return entries[0].message if entries else None
 
     def entries_for(self, dest: int) -> Sequence[_PendingEntry]:
-        return tuple(self._pending.get(dest, []))
+        """Pending entries for ``dest``, oldest first.
+
+        The returned sequence is the live queue — callers must treat it as
+        read-only (policies that remove entries copy it first).  Because
+        sends append and aging is uniform, ``age_in_dest_steps`` is
+        non-increasing along it: the first entry is always the oldest.
+        """
+        return self._pending.get(dest, _NO_ENTRIES)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -203,9 +214,9 @@ class FairRandomDelivery(DeliveryPolicy):
         entries = buffer.entries_for(dest)
         if not entries:
             return None
-        overdue = [e for e in entries if e.age_in_dest_steps >= self.max_age]
-        if overdue:
-            return overdue[0].message
+        oldest = entries[0]  # ages are non-increasing: the max is up front
+        if oldest.age_in_dest_steps >= self.max_age:
+            return oldest.message
         if rng.random() < self.lambda_prob:
             return None
         return rng.choice(entries).message
@@ -231,9 +242,9 @@ class PerSenderFifoDelivery(DeliveryPolicy):
         entries = buffer.entries_for(dest)
         if not entries:
             return None
-        overdue = [e for e in entries if e.age_in_dest_steps >= self.max_age]
-        if overdue:
-            return overdue[0].message
+        oldest = entries[0]  # ages are non-increasing: the max is up front
+        if oldest.age_in_dest_steps >= self.max_age:
+            return oldest.message
         if rng.random() < self.lambda_prob:
             return None
         senders = sorted({e.message.sender for e in entries})

@@ -13,7 +13,7 @@ argument.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 class SchedulingPolicy:
@@ -54,6 +54,12 @@ class RandomFairScheduler(SchedulingPolicy):
     Any alive process that has not stepped within ``max_gap`` scheduler
     decisions is chosen first, so property (6) holds on every prefix, not
     just almost surely.
+
+    The overdue scan is amortized: after a scan finds nobody overdue, no
+    process can *become* overdue before decision ``min(last scheduled) +
+    max_gap + 1`` (last-scheduled stamps only grow and the alive set only
+    shrinks), so scans are skipped until that watermark.  Choices — and
+    hence runs — are identical to scanning every decision.
     """
 
     def __init__(self, max_gap: int = 64):
@@ -62,18 +68,27 @@ class RandomFairScheduler(SchedulingPolicy):
         self.max_gap = max_gap
         self._last_scheduled: Dict[int, int] = {}
         self._decisions = 0
+        self._next_overdue_check = max_gap + 1
 
     def next_process(self, alive, time, rng):
         if not alive:
             return None
         self._decisions += 1
-        overdue = [
-            p
-            for p in alive
-            if self._decisions - self._last_scheduled.get(p, 0) > self.max_gap
-        ]
-        choice = overdue[0] if overdue else rng.choice(list(alive))
-        self._last_scheduled[choice] = self._decisions
+        d = self._decisions
+        if d >= self._next_overdue_check:
+            threshold = d - self.max_gap
+            last = self._last_scheduled
+            overdue = [p for p in alive if last.get(p, 0) < threshold]
+            if overdue:
+                choice = overdue[0]
+                last[choice] = d
+                self._next_overdue_check = d + 1  # others may still be overdue
+                return choice
+            self._next_overdue_check = (
+                min(last.get(p, 0) for p in alive) + self.max_gap + 1
+            )
+        choice = rng.choice(alive)
+        self._last_scheduled[choice] = d
         return choice
 
 
@@ -89,23 +104,33 @@ class WeightedScheduler(SchedulingPolicy):
         self.max_gap = max_gap
         self._last_scheduled: Dict[int, int] = {}
         self._decisions = 0
+        self._next_overdue_check = max_gap + 1
+        self._weights_for: Dict[tuple, List[float]] = {}
 
     def next_process(self, alive, time, rng):
         if not alive:
             return None
         self._decisions += 1
-        overdue = [
-            p
-            for p in alive
-            if self._decisions - self._last_scheduled.get(p, 0) > self.max_gap
-        ]
-        if overdue:
-            choice = overdue[0]
-        else:
-            population = list(alive)
-            weights = [self.weights.get(p, 1.0) for p in population]
-            choice = rng.choices(population, weights=weights, k=1)[0]
-        self._last_scheduled[choice] = self._decisions
+        d = self._decisions
+        if d >= self._next_overdue_check:
+            threshold = d - self.max_gap
+            last = self._last_scheduled
+            overdue = [p for p in alive if last.get(p, 0) < threshold]
+            if overdue:
+                choice = overdue[0]
+                last[choice] = d
+                self._next_overdue_check = d + 1
+                return choice
+            self._next_overdue_check = (
+                min(last.get(p, 0) for p in alive) + self.max_gap + 1
+            )
+        key = alive if type(alive) is tuple else tuple(alive)
+        weights = self._weights_for.get(key)
+        if weights is None:
+            weights = [self.weights.get(p, 1.0) for p in key]
+            self._weights_for[key] = weights
+        choice = rng.choices(key, weights=weights, k=1)[0]
+        self._last_scheduled[choice] = d
         return choice
 
 
@@ -121,7 +146,6 @@ class ScriptedScheduler(SchedulingPolicy):
         script: Sequence[int],
         fallback: Optional[SchedulingPolicy] = None,
     ):
-        self._script: Iterator[int] = iter(list(script))
         self._queue: List[int] = list(script)
         self._pos = 0
         self.fallback = fallback if fallback is not None else RoundRobinScheduler()

@@ -55,7 +55,14 @@ class StepRecord(NamedTuple):
 
 @dataclass
 class RunResult:
-    """Everything recorded about one finite live run."""
+    """Everything recorded about one finite live run.
+
+    Under ``trace="metrics"`` the step-by-step trace is not retained:
+    ``steps`` and ``queried`` are empty while ``total_steps``, decisions,
+    outputs and message accounting are still exact.  The ``steps`` and
+    ``queried`` containers are handed off from the system without copying;
+    they are owned by the result once the run is over.
+    """
 
     n: int
     pattern: FailurePattern
@@ -69,10 +76,15 @@ class RunResult:
     final_time: int
     messages_sent: int
     messages_delivered: int
+    total_steps: int = -1
+
+    def __post_init__(self) -> None:
+        if self.total_steps < 0:
+            self.total_steps = len(self.steps)
 
     @property
     def step_count(self) -> int:
-        return len(self.steps)
+        return self.total_steps
 
     def decided_correct(self) -> Dict[int, Any]:
         return {
@@ -84,7 +96,7 @@ class RunResult:
 
     def __repr__(self) -> str:
         return (
-            f"RunResult(steps={len(self.steps)}, decisions={self.decisions}, "
+            f"RunResult(steps={self.total_steps}, decisions={self.decisions}, "
             f"stop={self.stop_reason!r})"
         )
 
@@ -96,8 +108,28 @@ class HistorySource:
         raise NotImplementedError
 
 
+#: Sentinel returned by :meth:`System.step` under ``trace="metrics"``: truthy
+#: (so run loops can test for progress) but carries no per-step data.
+STEP_TAKEN = StepRecord(
+    index=-1, time=-1, pid=-1, message=None, detector_value=None, sends=()
+)
+
+
 class System:
-    """Executes one run of coroutine processes under a failure pattern."""
+    """Executes one run of coroutine processes under a failure pattern.
+
+    ``trace`` selects how much of the run is recorded:
+
+    * ``"full"`` (default) — every :class:`StepRecord` and every detector
+      query is retained, as required by transcript tooling, the scenario
+      drivers and the run-validation machinery.
+    * ``"metrics"`` — only aggregate data survives (decisions, outputs,
+      step/message counts).  ``step()`` returns the :data:`STEP_TAKEN`
+      sentinel instead of a record.  The executed run is *identical* to the
+      full-trace run — same scheduling, deliveries and detector values —
+      only the recording is skipped, which makes large sweeps markedly
+      cheaper (see ``benchmarks/bench_micro.py``).
+    """
 
     def __init__(
         self,
@@ -107,7 +139,10 @@ class System:
         scheduler: Optional[SchedulingPolicy] = None,
         delivery: Optional[DeliveryPolicy] = None,
         seed: int = 0,
+        trace: str = "full",
     ):
+        if trace not in ("full", "metrics"):
+            raise ValueError(f"unknown trace mode {trace!r}")
         self.n = pattern.n
         if set(processes) != set(range(self.n)):
             raise ValueError(
@@ -115,6 +150,7 @@ class System:
             )
         self.pattern = pattern
         self.history = history
+        self.trace = trace
         self.scheduler = scheduler if scheduler is not None else RandomFairScheduler()
         self.delivery = delivery if delivery is not None else FairRandomDelivery()
         self.buffer = MessageBuffer()
@@ -122,7 +158,10 @@ class System:
         self.steps: List[StepRecord] = []
         self.contexts: Dict[int, ProcessContext] = {}
         self.runtimes: Dict[int, CoroutineRuntime] = {}
-        self.queried: Dict[int, List[Tuple[int, Any]]] = {p: [] for p in range(self.n)}
+        self._record_trace = trace == "full"
+        self.queried: Dict[int, List[Tuple[int, Any]]] = (
+            {p: [] for p in range(self.n)} if self._record_trace else {}
+        )
         self._dest_steps: Dict[int, int] = {p: 0 for p in range(self.n)}
         self._sched_rng = random.Random(f"{seed}/sched")
         self._dest_rngs = {
@@ -139,46 +178,105 @@ class System:
         self._initial_outputs = {
             p: processes[p].initial_output() for p in range(self.n)
         }
+        # Resolve per-step dispatch once.  The history accessor is either a
+        # History object (``.value``) or a plain callable; the delivery's
+        # clock hook exists only on time-aware policies; the alive-set
+        # timeline is precomputable only for immutable patterns
+        # (DeferredCrashPattern mutates mid-run and stays on the slow path).
+        self._history_fn: Callable[[int, int], Any] = (
+            history.value if hasattr(history, "value") else history
+        )
+        self._set_now = getattr(self.delivery, "set_now", None)
+        self._next_process = self.scheduler.next_process
+        self._note_dest_step = self.buffer.note_dest_step
+        self._choose = self.delivery.choose
+        self._send = self.buffer.send
+        epochs_fn = getattr(pattern, "alive_epochs", None)
+        if callable(epochs_fn):
+            self._epochs: Optional[Tuple[Tuple[int, Tuple[int, ...]], ...]] = (
+                tuple(epochs_fn())
+            )
+            self._epoch_idx = 0
+            self._alive_now: Tuple[int, ...] = self._epochs[0][1]
+            self._next_epoch_at: Optional[int] = (
+                self._epochs[1][0] if len(self._epochs) > 1 else None
+            )
+        else:
+            self._epochs = None
+            self._alive_now = ()
+            self._next_epoch_at = None
 
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
 
     def _history_value(self, p: int, t: int) -> Any:
-        if hasattr(self.history, "value"):
-            return self.history.value(p, t)
-        return self.history(p, t)
+        return self._history_fn(p, t)
+
+    def _alive_at(self, t: int) -> Tuple[int, ...]:
+        """The sorted alive tuple at ``t`` (epoch cursor, O(1) amortized)."""
+        if self._epochs is None:
+            return tuple(sorted(self.pattern.alive_at(t)))
+        while self._next_epoch_at is not None and t >= self._next_epoch_at:
+            self._epoch_idx += 1
+            self._alive_now = self._epochs[self._epoch_idx][1]
+            self._next_epoch_at = (
+                self._epochs[self._epoch_idx + 1][0]
+                if self._epoch_idx + 1 < len(self._epochs)
+                else None
+            )
+        return self._alive_now
 
     def step(self) -> Optional[StepRecord]:
-        """Execute one step; ``None`` when no process can step."""
+        """Execute one step; ``None`` when no process can step.
+
+        Under ``trace="metrics"`` the :data:`STEP_TAKEN` sentinel is
+        returned instead of a per-step record.
+        """
         t = self.time
-        alive = tuple(sorted(self.pattern.alive_at(t)))
+        # Inlined epoch cursor: between crash times the alive tuple is a
+        # cached constant (see _alive_at for the cursor advance / slow path).
+        next_at = self._next_epoch_at
+        if next_at is not None and t >= next_at:
+            alive = self._alive_at(t)
+        elif self._epochs is not None:
+            alive = self._alive_now
+        else:
+            alive = self._alive_at(t)
         if not alive:
             return None
-        if hasattr(self.delivery, "set_now"):
-            self.delivery.set_now(t)
-        pid = self.scheduler.next_process(alive, t, self._sched_rng)
+        if self._set_now is not None:
+            self._set_now(t)
+        pid = self._next_process(alive, t, self._sched_rng)
         if pid is None:
             return None
 
-        self.buffer.note_dest_step(pid)
-        message = self.delivery.choose(
-            self.buffer, pid, self._dest_steps[pid], self._dest_rngs[pid]
+        self._note_dest_step(pid)
+        dest_steps = self._dest_steps
+        message = self._choose(
+            self.buffer, pid, dest_steps[pid], self._dest_rngs[pid]
         )
-        self._dest_steps[pid] += 1
+        dest_steps[pid] += 1
         if message is not None:
             self.buffer.deliver(message)
             delivered = DeliveredMessage(message.sender, message.payload)
         else:
             delivered = None
 
-        d = self._history_value(pid, t)
-        self.queried[pid].append((t, d))
+        d = self._history_fn(pid, t)
         observation = Observation(message=delivered, detector_value=d, time=t)
         sends = self.runtimes[pid].step(observation)
+        self.time = t + 1
+        if not self._record_trace:
+            # Metrics mode: enqueue the sends but build no per-step record.
+            send = self._send
+            for dest, payload in sends:
+                send(pid, dest, payload, now=t)
+            return STEP_TAKEN
         sent_messages = tuple(
-            self.buffer.send(pid, dest, payload, now=t) for dest, payload in sends
+            self._send(pid, dest, payload, now=t) for dest, payload in sends
         )
+        self.queried[pid].append((t, d))
         record = StepRecord(
             index=len(self.steps),
             time=t,
@@ -188,7 +286,6 @@ class System:
             sends=sent_messages,
         )
         self.steps.append(record)
-        self.time += 1
         return record
 
     def run(
@@ -227,6 +324,13 @@ class System:
     # ------------------------------------------------------------------
 
     def result(self, stop_reason: str = "manual") -> RunResult:
+        """Package the run's outcome.
+
+        The ``steps`` and ``queried`` containers are handed off by
+        reference, not copied: a result is normally taken once, at the end
+        of the run.  (Stepping the system further after taking a result
+        extends the shared trace in place.)
+        """
         decisions = {
             p: ctx.decision
             for p, ctx in self.contexts.items()
@@ -241,16 +345,17 @@ class System:
         return RunResult(
             n=self.n,
             pattern=self.pattern,
-            steps=list(self.steps),
+            steps=self.steps,
             decisions=decisions,
             decision_times=decision_times,
             outputs=outputs,
             initial_outputs=dict(self._initial_outputs),
-            queried={p: list(v) for p, v in self.queried.items()},
+            queried=self.queried,
             stop_reason=stop_reason,
             final_time=self.time,
             messages_sent=self.buffer.sent_count,
             messages_delivered=self.buffer.delivered_count,
+            total_steps=self.time,
         )
 
     # ------------------------------------------------------------------

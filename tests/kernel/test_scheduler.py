@@ -70,6 +70,91 @@ class TestWeighted:
         assert picks.count(1) >= 500 // 52
 
 
+def _reference_choices(sched, alive_by_step, rng):
+    """Re-derive choices with the unamortized per-step overdue scan.
+
+    This is the pre-watermark algorithm, kept here as the oracle: the
+    amortized schedulers must make bit-identical choices (same rng draws,
+    same picks), or sweep tables would silently change.
+    """
+    last = {}
+    picks = []
+    for i, alive in enumerate(alive_by_step, start=1):
+        overdue = [p for p in alive if i - last.get(p, 0) > sched.max_gap]
+        if overdue:
+            choice = overdue[0]
+        elif isinstance(sched, WeightedScheduler):
+            weights = [sched.weights.get(p, 1.0) for p in alive]
+            choice = rng.choices(list(alive), weights=weights, k=1)[0]
+        else:
+            choice = rng.choice(list(alive))
+        last[choice] = i
+        picks.append(choice)
+    return picks
+
+
+class TestFairnessRegression:
+    """10k-step aging-bound regressions (guards the watermark amortization)."""
+
+    def _max_observed_gap(self, sched, steps=10_000, n=5, seed=17):
+        rng = random.Random(seed)
+        alive = tuple(range(n))
+        last = {p: 0 for p in alive}
+        worst = 0
+        for i in range(1, steps + 1):
+            if i == steps // 2:  # crash one process mid-run
+                alive = tuple(p for p in alive if p != n - 1)
+            pick = sched.next_process(alive, i, rng)
+            assert pick in alive
+            worst = max(worst, i - last[pick])
+            last[pick] = i
+        for p in alive:  # nobody starves at the tail either
+            worst = max(worst, steps - last[p])
+        return worst
+
+    def test_random_fair_no_gap_beyond_bound(self):
+        n = 5
+        sched = RandomFairScheduler(max_gap=32)
+        # overdue processes are served one per decision, so the worst gap is
+        # max_gap + (number of simultaneously-overdue peers)
+        assert self._max_observed_gap(sched, n=n) <= 32 + n
+
+    def test_weighted_no_gap_beyond_bound(self):
+        n = 5
+        sched = WeightedScheduler(
+            {0: 100.0, 1: 10.0, 2: 1.0, 3: 0.01, 4: 0.01}, max_gap=64
+        )
+        assert self._max_observed_gap(sched, n=n) <= 64 + n
+
+    def test_random_fair_matches_per_step_scan(self):
+        alive_by_step = [(0, 1, 2, 3)] * 5000 + [(0, 1, 3)] * 5000
+        sched = RandomFairScheduler(max_gap=16)
+        rng = random.Random(23)
+        picks = [
+            sched.next_process(alive, i, rng)
+            for i, alive in enumerate(alive_by_step, start=1)
+        ]
+        oracle = _reference_choices(
+            RandomFairScheduler(max_gap=16), alive_by_step, random.Random(23)
+        )
+        assert picks == oracle
+
+    def test_weighted_matches_per_step_scan(self):
+        alive_by_step = [(0, 1, 2)] * 4000 + [(0, 2)] * 4000
+        sched = WeightedScheduler({0: 50.0, 2: 0.1}, max_gap=24)
+        rng = random.Random(31)
+        picks = [
+            sched.next_process(alive, i, rng)
+            for i, alive in enumerate(alive_by_step, start=1)
+        ]
+        oracle = _reference_choices(
+            WeightedScheduler({0: 50.0, 2: 0.1}, max_gap=24),
+            alive_by_step,
+            random.Random(31),
+        )
+        assert picks == oracle
+
+
 class TestScripted:
     def test_follows_script_then_fallback(self):
         sched = ScriptedScheduler([2, 2, 0], fallback=RoundRobinScheduler())
