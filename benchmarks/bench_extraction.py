@@ -1,0 +1,166 @@
+"""Extraction engine benchmark: ``python benchmarks/bench_extraction.py``.
+
+Runs the ``T_{D -> Sigma^nu}`` extraction workload (quorum-MR subject over
+(Omega, Sigma), n=5) twice per case — once through the incremental
+simulation trie (``use_trie=True``) and once from scratch — on identical
+failure patterns and seeds, and writes ``BENCH_extraction.json`` with:
+
+* per-case and total wall times for both modes and the observed speedup
+  (the trie path is expected to be >= 2x faster on this workload);
+* the trie's work counters (prefix hit-rate, steps simulated vs. replayed
+  for free, subsets pruned) merged across processes and cases;
+* an equivalence verdict: both modes must produce identical output
+  sequences and identical Sigma^nu verdicts — the trie is an optimization,
+  not a behaviour change.
+
+``--quick`` trims the case list so CI stays fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from typing import Any, Dict, List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+N = 5
+MAX_STEPS = 2500
+MIN_OUTPUTS = 3
+
+
+def _run_case(trial: int, use_trie: bool) -> Dict[str, Any]:
+    from repro.consensus.quorum_mr import QuorumMR
+    from repro.core.extraction import ExtractionSearch
+    from repro.detectors import Omega, PairedDetector, Sigma
+    from repro.harness.runner import random_pattern, run_extraction
+
+    rng = random.Random(trial)
+    pattern = random_pattern(N, rng, max_faulty=2)
+    detector = PairedDetector(Omega(), Sigma("pivot"))
+    start = time.perf_counter()
+    outcome = run_extraction(
+        QuorumMR(),
+        detector,
+        pattern,
+        seed=trial,
+        max_steps=MAX_STEPS,
+        min_outputs=MIN_OUTPUTS,
+        search=ExtractionSearch(use_trie=use_trie),
+        trace="metrics",
+    )
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "outputs": {p: list(v) for p, v in outcome.result.outputs.items()},
+        "sigma_nu_ok": bool(outcome.sigma_nu_check),
+        "counters": outcome.search_counters,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer cases for CI"
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_extraction.json"),
+        metavar="FILE",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.core.simtrie import TrieCounters, merge_counter_dicts
+
+    trials = range(3) if args.quick else range(7)
+    cases: List[Dict[str, Any]] = []
+    total = {True: 0.0, False: 0.0}
+    counter_dicts: List[Dict[str, int]] = []
+    all_equal = True
+    for trial in trials:
+        scratch = _run_case(trial, use_trie=False)
+        trie = _run_case(trial, use_trie=True)
+        total[False] += scratch["wall_s"]
+        total[True] += trie["wall_s"]
+        equal = (
+            scratch["outputs"] == trie["outputs"]
+            and scratch["sigma_nu_ok"] == trie["sigma_nu_ok"]
+        )
+        all_equal = all_equal and equal
+        if trie["counters"]:
+            counter_dicts.append(trie["counters"])
+        cases.append(
+            {
+                "trial": trial,
+                "scratch_s": round(scratch["wall_s"], 3),
+                "trie_s": round(trie["wall_s"], 3),
+                "speedup": round(scratch["wall_s"] / trie["wall_s"], 3),
+                "outputs_equal": equal,
+                "sigma_nu_ok": trie["sigma_nu_ok"],
+            }
+        )
+        print(
+            f"  case {trial}: scratch {scratch['wall_s']:.3f}s  "
+            f"trie {trie['wall_s']:.3f}s  "
+            f"speedup {scratch['wall_s'] / trie['wall_s']:.2f}x  "
+            f"equal={equal}",
+            flush=True,
+        )
+
+    merged = merge_counter_dicts(counter_dicts) or {}
+    rates = TrieCounters(**merged) if merged else TrieCounters()
+    speedup = total[False] / total[True] if total[True] else None
+    print(
+        f"TOTAL: scratch {total[False]:.3f}s  trie {total[True]:.3f}s  "
+        f"speedup {speedup:.2f}x  all_equal={all_equal}",
+        flush=True,
+    )
+
+    report = {
+        "schema": "bench-extraction/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": args.quick,
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "workload": (
+            f"T_{{D->Sigma^nu}} over quorum-MR / (Omega, Sigma), n={N}, "
+            f"max {MAX_STEPS} steps, {MIN_OUTPUTS} outputs per correct "
+            f"process, {len(cases)} failure patterns"
+        ),
+        "totals": {
+            "scratch_s": round(total[False], 3),
+            "trie_s": round(total[True], 3),
+            "speedup": round(speedup, 3) if speedup else None,
+        },
+        "outputs_equal": all_equal,
+        "cases": cases,
+        "counters": merged,
+        "counter_rates": {
+            "prefix_hit_rate": round(rates.prefix_hit_rate, 4),
+            "free_step_rate": round(rates.free_step_rate, 4),
+        },
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    if not all_equal:
+        print("ERROR: trie and from-scratch outputs diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

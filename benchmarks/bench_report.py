@@ -127,6 +127,10 @@ def _runner_name(name: str) -> str:
 def bench_parallel(jobs: int) -> Dict[str, Any]:
     from repro.harness import experiments
 
+    if os.cpu_count() == 1:
+        # Worker processes cannot beat serial on one core; the number would
+        # be pure noise, so record the skip instead of a misleading ratio.
+        return {"experiment": "exp1", "skipped": "single-cpu host"}
     kwargs = dict(QUICK_OVERRIDES["exp1"])
     serial = _timed(lambda: experiments.exp1_nuc_sufficiency(**kwargs, jobs=1))
     parallel = _timed(
@@ -177,11 +181,14 @@ def main(argv=None) -> int:
     experiments = bench_experiments(names)
     print(f"serial vs --jobs {args.jobs} (exp1) ...", flush=True)
     sweep = bench_parallel(args.jobs)
-    print(
-        f"  serial {sweep['serial_s']}s, parallel {sweep['parallel_s']}s, "
-        f"speedup {sweep['speedup']}x",
-        flush=True,
-    )
+    if "skipped" in sweep:
+        print(f"  skipped: {sweep['skipped']}", flush=True)
+    else:
+        print(
+            f"  serial {sweep['serial_s']}s, parallel {sweep['parallel_s']}s, "
+            f"speedup {sweep['speedup']}x",
+            flush=True,
+        )
 
     try:
         affinity = len(os.sched_getaffinity(0))

@@ -1,0 +1,82 @@
+"""Compare a fresh ``BENCH_kernel.json`` against the committed baseline.
+
+``python benchmarks/check_regression.py NEW [--baseline FILE] [--threshold PCT]``
+
+Fails (exit 1) when the new report's kernel step throughput drops more than
+``--threshold`` percent (default 25) below the baseline in either trace
+mode.  Wall times of the experiment sweeps are reported but not gated —
+they run at quick parameterizations where noise swamps small shifts; the
+steps/sec micro-benchmark is the stable signal.
+
+CI runs this after regenerating the report so a kernel slowdown fails the
+build instead of silently landing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("new", help="freshly generated BENCH_kernel.json")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(REPO_ROOT, "BENCH_kernel.json"),
+        metavar="FILE",
+        help="committed baseline report (default: repo root)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="max allowed throughput drop in percent (default 25)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.new) as fh:
+        new = json.load(fh)
+
+    failures = []
+    for trace in ("full", "metrics"):
+        base = baseline["kernel"][trace]["steps_per_sec"]
+        now = new["kernel"][trace]["steps_per_sec"]
+        drop = 100.0 * (base - now) / base if base else 0.0
+        status = "FAIL" if drop > args.threshold else "ok"
+        print(
+            f"kernel[{trace}]: baseline {base:,} steps/s, new {now:,} steps/s "
+            f"({drop:+.1f}% drop) [{status}]"
+        )
+        if drop > args.threshold:
+            failures.append(trace)
+
+    base_sweeps = {e["name"]: e["wall_s"] for e in baseline.get("experiments", [])}
+    for entry in new.get("experiments", []):
+        base_wall = base_sweeps.get(entry["name"])
+        if base_wall:
+            print(
+                f"sweep[{entry['name']}]: baseline {base_wall}s, "
+                f"new {entry['wall_s']}s (informational)"
+            )
+
+    if failures:
+        print(
+            f"throughput regressed >{args.threshold:.0f}% in: "
+            + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    print("no throughput regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
+from repro.core.simtrie import merge_counter_dicts
 from repro.kernel.system import RunResult
 
 
@@ -47,6 +48,26 @@ def collect_metrics(result: RunResult) -> RunMetrics:
         last_decision_time=max(times) if times else None,
         outputs_emitted=outputs,
     )
+
+
+def collect_search_counters(processes: Iterable[object]) -> Optional[Dict[str, int]]:
+    """Sum the search-work counters of every process exposing them.
+
+    The extraction trie (:mod:`repro.core.simtrie`) and the boosting
+    closed-path memo both publish per-process counters through a
+    ``search_counters()`` method; this merges them across a run's processes
+    into one dict for reports and benchmark JSON.  ``None`` when no process
+    exposes counters (e.g. the from-scratch search path).
+    """
+    dicts = []
+    for proc in processes:
+        getter = getattr(proc, "search_counters", None)
+        if getter is None:
+            continue
+        counters = getter()
+        if counters:
+            dicts.append(counters)
+    return merge_counter_dicts(dicts)
 
 
 def message_breakdown(result: RunResult) -> Dict[str, int]:

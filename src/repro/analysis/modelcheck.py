@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
+from repro.core.simtrie import DigestCache
 from repro.kernel.automaton import Automaton, DeliveredMessage
 from repro.kernel.failures import FailurePattern
 
@@ -47,6 +48,7 @@ class ExplorationReport:
     max_depth: int
     truncated: bool
     violation: Optional[Violation] = None
+    digest_hits: int = 0  # state snapshots served by the digest cache
 
     @property
     def ok(self) -> bool:
@@ -80,6 +82,7 @@ def explore(
     invariant: Callable[[Dict[int, Any], "_MessageView"], Optional[str]],
     max_depth: int = 8,
     max_configs: int = 200_000,
+    digest_cache: Optional[DigestCache] = None,
 ) -> ExplorationReport:
     """Explore every schedule prefix up to ``max_depth`` steps.
 
@@ -88,10 +91,16 @@ def explore(
     violation (the string is the explanation), ``None`` means fine.
 
     Exploration is depth-first with global deduplication on a configuration
-    digest, so equivalent interleavings are visited once.
+    digest, so equivalent interleavings are visited once.  Successor
+    configurations copy only the stepping process's state (transitions may
+    mutate in place; the others are shared by reference), and a
+    ``digest_cache`` memoizes per-state snapshot digests by identity —
+    shared states cost their ``repr`` once instead of once per
+    configuration.  ``None`` uses a private cache; pass one to share it
+    across related explorations of the same automaton.
     """
-    import copy
-
+    if digest_cache is None:
+        digest_cache = DigestCache()
     n = pattern.n
 
     def initial() -> _LiveState:
@@ -104,7 +113,11 @@ def explore(
         # repr-normalize snapshots: automaton states may embed unhashable
         # structures (dict-valued message payloads); equal reprs collapse
         # equal configurations, unequal ones merely cost extra exploration.
-        snaps = tuple(repr(automaton.snapshot(state.states[p])) for p in range(n))
+        # The cache is identity-keyed — sound because stored states are
+        # never mutated (apply copies the stepping state before stepping).
+        snaps = tuple(
+            digest_cache.lookup(state.states[p], automaton) for p in range(n)
+        )
         msgs = tuple(
             sorted((m[0], m[1], repr(m[2])) for m in state.pending)
         )
@@ -121,8 +134,12 @@ def explore(
                 yield pid, choice
 
     def apply(state: _LiveState, pid: int, choice: Optional[int]) -> _LiveState:
+        # Only the stepping process's state can change; copy it (transition
+        # may mutate in place) and share the rest by reference.
+        states = dict(state.states)
+        states[pid] = automaton.copy_state(states[pid])
         new = _LiveState(
-            states=copy.deepcopy(state.states),
+            states=states,
             pending=list(state.pending),
             seq=dict(state.seq),
             time=state.time + 1,
@@ -163,6 +180,7 @@ def explore(
                 max_depth=max_depth,
                 truncated=truncated,
                 violation=Violation(depth=depth, trace=trace, detail=problem),
+                digest_hits=digest_cache.hits,
             )
         if depth >= max_depth:
             continue
@@ -185,6 +203,7 @@ def explore(
         transitions=transitions,
         max_depth=max_depth,
         truncated=truncated,
+        digest_hits=digest_cache.hits,
     )
 
 

@@ -89,6 +89,21 @@ class LeaderQuorumConsensus(Automaton):
     def decision(self, state: _RoundState) -> Optional[Any]:
         return state.decided
 
+    def copy_state(self, state: _RoundState) -> _RoundState:
+        # Two levels of dict copying reach every mutable part of the state
+        # (payload values are immutable tuples/scalars); much cheaper than
+        # the generic deepcopy on the simulation trie's snapshot path.
+        return _RoundState(
+            pid=state.pid,
+            n=state.n,
+            x=state.x,
+            round=state.round,
+            phase=state.phase,
+            decided=state.decided,
+            msgs={key: dict(senders) for key, senders in state.msgs.items()},
+            round_opened=state.round_opened,
+        )
+
     def snapshot(self, state: _RoundState) -> Any:
         msgs = tuple(
             (key, tuple(sorted(senders.items(), key=lambda kv: kv[0])))

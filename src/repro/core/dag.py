@@ -32,6 +32,7 @@ from typing import (
     FrozenSet,
     Iterable,
     List,
+    Mapping,
     NamedTuple,
     Optional,
     Sequence,
@@ -277,41 +278,210 @@ def balanced_chain(nodes: Sequence[Sample]) -> List[Sample]:
     decide.  This variant repeatedly extends the chain with the next
     compatible sample of the *least-served* process, yielding near
     round-robin interleaving whenever the underlying samples permit.
+
+    For callers that rebuild the chain of a *growing* sample set over and
+    over (the extraction search), :class:`BalancedChainBuilder` computes the
+    identical chain incrementally.
     """
-    by_pid: Dict[int, List[Sample]] = {}
-    for node in nodes:
-        by_pid.setdefault(node.pid, []).append(node)
-    for samples in by_pid.values():
-        samples.sort(key=lambda s: s.k)
-    pointers: Dict[int, int] = {pid: 0 for pid in by_pid}
-    counts: Dict[int, int] = {pid: 0 for pid in by_pid}
-    chain: List[Sample] = []
-    last: Optional[Sample] = None
-    while True:
-        candidates: Dict[int, Sample] = {}
-        for pid, samples in by_pid.items():
-            i = pointers[pid]
-            # Frontiers are monotone in k, so samples skipped against the
-            # current chain tip can never become compatible with later
-            # (deeper) tips of the same process; advancing is safe.
-            while i < len(samples) and last is not None and not (
-                samples[i].key == last.key
-                or SampleDAG.is_ancestor(last, samples[i])
-            ):
-                i += 1
-            pointers[pid] = i
-            if i < len(samples):
-                candidates[pid] = samples[i]
-        if not candidates:
-            break
-        if last is None:
-            # Start from the globally shallowest sample.
-            pid = min(candidates, key=lambda q: (candidates[q].depth, q))
-        else:
-            pid = min(candidates, key=lambda q: (counts[q], q))
-        node = candidates[pid]
-        chain.append(node)
-        counts[pid] += 1
-        pointers[pid] += 1
-        last = node
-    return chain
+    builder = BalancedChainBuilder()
+    builder.extend(nodes)
+    return list(builder.chain())
+
+
+class BalancedChainBuilder:
+    """Incrementally maintained :func:`balanced_chain` of a growing set.
+
+    Feed batches of new samples with :meth:`extend`; :meth:`chain` always
+    equals ``balanced_chain`` of everything fed so far.  The builder's run
+    is deterministic given the per-process sample lists, and appending
+    samples (always with larger ``k`` than any fed before, as DAG growth
+    guarantees) can first change its behaviour at the earliest iteration
+    where some process's list was exhausted — every prior iteration saw
+    candidates drawn from unchanged list prefixes.  The builder checkpoints
+    its state at that first-exhaustion moment and, on new samples, replays
+    only from the checkpoint instead of from scratch.
+    """
+
+    __slots__ = (
+        "_lists",
+        "_seen_k",
+        "_pointers",
+        "_counts",
+        "_chain",
+        "_last",
+        "_ckpt",
+        "clock",
+        "_rewinds",
+    )
+
+    def __init__(self) -> None:
+        self._lists: Dict[int, List[Sample]] = {}
+        self._seen_k: Dict[int, int] = {}
+        self._pointers: Dict[int, int] = {}
+        self._counts: Dict[int, int] = {}
+        self._chain: List[Sample] = []
+        self._last: Optional[Sample] = None
+        # State at the first iteration that saw an exhausted list:
+        # (pointers, counts, chain length, last).  ``None`` until then.
+        self._ckpt: Optional[
+            Tuple[Dict[int, int], Dict[int, int], int, Optional[Sample]]
+        ] = None
+        #: Monotone clock, ticked whenever the chain is rewound (truncated
+        #: and regrown).  Consumers that cache per-position work (the
+        #: extraction engine's search cursors) record the clock when they
+        #: read the chain and later ask :meth:`stable_since` how deep the
+        #: chain is still unchanged.
+        self.clock: int = 0
+        self._rewinds: List[Tuple[int, int]] = []  # (clock, truncation depth)
+
+    def extend(self, nodes: Iterable[Sample]) -> None:
+        """Feed samples; ones already fed (by ``(pid, k)``) are ignored.
+
+        New samples of a process must have larger ``k`` than its previously
+        fed ones — true for any caller feeding snapshots of a growing DAG
+        subset (per process, a fresh subgraph's ``k`` values are upward
+        closed, so growth only appends).  Order within one batch is free.
+        """
+        incoming: Dict[int, List[Sample]] = {}
+        for node in nodes:
+            incoming.setdefault(node.pid, []).append(node)
+        fed = False
+        new_pid = False
+        for pid, batch in incoming.items():
+            batch.sort(key=lambda s: s.k)
+            seen = self._seen_k.get(pid, 0)
+            if batch[-1].k <= seen:
+                continue
+            bucket = self._lists.get(pid)
+            if bucket is None:
+                bucket = self._lists[pid] = []
+                new_pid = True
+            for node in batch:
+                if node.k > seen:
+                    bucket.append(node)
+                    seen = node.k
+            self._seen_k[pid] = seen
+            fed = True
+        self._ingested(fed, new_pid)
+
+    def extend_grouped(self, groups: Mapping[int, Sequence[Sample]]) -> None:
+        """Feed per-process sample lists that *extend* previously fed ones.
+
+        Each ``groups[pid]`` must be sorted ascending by ``k`` and have the
+        samples fed for ``pid`` so far as a prefix (true of a growing fresh
+        subgraph's per-process lists); only the suffix past the fed count is
+        ingested, so a call costs O(new samples), not O(all samples).
+        """
+        fed = False
+        new_pid = False
+        for pid, lst in groups.items():
+            bucket = self._lists.get(pid)
+            if bucket is None:
+                if not lst:
+                    continue
+                bucket = self._lists[pid] = []
+                new_pid = True
+            start = len(bucket)
+            if len(lst) <= start:
+                continue
+            bucket.extend(lst[start:])
+            self._seen_k[pid] = bucket[-1].k
+            fed = True
+        self._ingested(fed, new_pid)
+
+    def _ingested(self, fed: bool, new_pid: bool) -> None:
+        if new_pid:
+            # A first-ever sample of a process could have entered the run at
+            # any iteration — no prior checkpoint is valid.  Start over.
+            self._pointers = {}
+            self._counts = {}
+            self._chain = []
+            self._last = None
+            self._ckpt = None
+            self.clock += 1
+            self._rewinds.append((self.clock, 0))
+        if fed:
+            self._rewind_and_run()
+
+    def chain(self) -> Sequence[Sample]:
+        """The balanced chain of all samples fed so far (do not mutate)."""
+        return self._chain
+
+    def pid_count(self, pid: int) -> int:
+        """Number of entries of ``pid`` in the current chain."""
+        return self._counts.get(pid, 0)
+
+    def stable_since(self, clock: int) -> int:
+        """How deep the chain is unchanged since ``clock`` was read.
+
+        Returns the minimum truncation depth over every rewind that happened
+        after ``clock``; chain positions below it are identical to what a
+        reader at ``clock`` saw.  With no rewind since, the whole current
+        chain is stable (only possibly extended).
+        """
+        stable = len(self._chain)
+        for at, depth in reversed(self._rewinds):
+            if at <= clock:
+                break
+            if depth < stable:
+                stable = depth
+        return stable
+
+    def _rewind_and_run(self) -> None:
+        if self._ckpt is not None:
+            pointers, counts, chain_len, last = self._ckpt
+            self._pointers = dict(pointers)
+            self._counts = dict(counts)
+            del self._chain[chain_len:]
+            self._last = last
+            self._ckpt = None
+            self.clock += 1
+            self._rewinds.append((self.clock, chain_len))
+        elif self._chain or self._last is not None:
+            raise AssertionError("completed run left no checkpoint")
+        lists = self._lists
+        pointers = self._pointers
+        counts = self._counts
+        chain = self._chain
+        last = self._last
+        while True:
+            candidates: Dict[int, Sample] = {}
+            exhausted = False
+            last_pid = last.pid if last is not None else -1
+            last_k = last.k if last is not None else 0
+            for pid, samples in lists.items():
+                i = pointers.get(pid, 0)
+                ln = len(samples)
+                # Frontiers are monotone in k, so samples skipped against
+                # the current chain tip can never become compatible with
+                # later (deeper) tips of the same process; advancing is
+                # safe.  (``last`` itself cannot reappear: its own list's
+                # pointer is already past it, other lists never held it.)
+                if last is not None:
+                    while i < ln and samples[i].frontier[last_pid] < last_k:
+                        i += 1
+                pointers[pid] = i
+                if i < ln:
+                    candidates[pid] = samples[i]
+                else:
+                    exhausted = True
+            if exhausted and self._ckpt is None:
+                # First iteration an exhausted list could influence: future
+                # samples of that process may re-enter here.  Snapshot the
+                # pre-selection state so extend() replays from this point.
+                self._ckpt = (dict(pointers), dict(counts), len(chain), last)
+            if not candidates:
+                break
+            if last is None:
+                # Start from the globally shallowest sample.
+                pid = min(candidates, key=lambda q: (candidates[q].depth, q))
+            else:
+                pid = min(
+                    candidates, key=lambda q: (counts.get(q, 0), q)
+                )
+            node = candidates[pid]
+            chain.append(node)
+            counts[pid] = counts.get(pid, 0) + 1
+            pointers[pid] += 1
+            last = node
+        self._last = last

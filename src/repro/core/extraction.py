@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Generator, List, Mapping, Optional, Tuple
 
 from repro.core.dag import DagCore, Sample, SampleDAG
+from repro.core.simtrie import IncrementalExtractionEngine
 from repro.core.simulation import PathSimulation, find_deciding_schedule
 from repro.kernel.automaton import Automaton, Process, ProcessContext
 
@@ -40,12 +41,21 @@ class ExtractionSearch:
     samples since the last attempt.  Found schedules stay valid as the DAG
     grows (``Sch`` is monotone — Lemma 4.5/4.11), so each initial
     configuration's schedule is cached until the barrier moves.
+
+    ``use_trie`` routes the search through the incremental simulation trie
+    (:mod:`repro.core.simtrie`): chains share simulated prefixes between
+    attempts and between the I_0 and I_1 configurations, and subsets whose
+    fresh samples are unchanged since a failed attempt are skipped.  The
+    results are identical to the from-scratch search (oracle-tested);
+    ``snapshot_stride`` tunes how densely simulator snapshots are cached.
     """
 
     search_growth: int = 12
     max_path_len: int = 2000
     minimize_participants: bool = True
     max_subset_size: Optional[int] = None  # cap candidate quorum size
+    use_trie: bool = True
+    snapshot_stride: int = 8
 
 
 @dataclass
@@ -85,10 +95,50 @@ class SigmaNuExtractor(Process):
         self.search = search if search is not None else ExtractionSearch()
         self.evidence: List[_QuorumEvidence] = []
         self.core: Optional[DagCore] = None
+        self.engine: Optional[IncrementalExtractionEngine] = (
+            IncrementalExtractionEngine(
+                subject, n, snapshot_stride=self.search.snapshot_stride
+            )
+            if self.search.use_trie
+            else None
+        )
 
     def initial_output(self) -> Any:
         # Line 2: Sigma^nu-output_p <- Pi.
         return frozenset(range(self.n))
+
+    def search_counters(self) -> Optional[Dict[str, int]]:
+        """The trie's work counters (``None`` on the from-scratch path)."""
+        return self.engine.counters.as_dict() if self.engine else None
+
+    def _find(
+        self,
+        proposals: Mapping[int, Any],
+        fresh: List[Sample],
+        target: int,
+        barrier: Sample,
+    ) -> Optional[PathSimulation]:
+        search = self.search
+        if self.engine is not None:
+            return self.engine.find_deciding_schedule(
+                proposals,
+                fresh,
+                target,
+                barrier=barrier,
+                max_path_len=search.max_path_len,
+                minimize_participants=search.minimize_participants,
+                max_subset_size=search.max_subset_size,
+            )
+        return find_deciding_schedule(
+            self.subject,
+            self.n,
+            proposals,
+            fresh,
+            target=target,
+            max_path_len=search.max_path_len,
+            minimize_participants=search.minimize_participants,
+            max_subset_size=search.max_subset_size,
+        )
 
     def program(self, ctx: ProcessContext) -> Generator:
         core = DagCore(ctx.pid, ctx.n)
@@ -100,6 +150,14 @@ class SigmaNuExtractor(Process):
         barrier: Optional[Sample] = None
         cached: Dict[int, Optional[PathSimulation]] = {0: None, 1: None}
         last_search_size = -(10**9)
+        # The fresh subgraph (line 14) is maintained incrementally: DAG
+        # nodes are insertion-ordered and only ever appended (dict update
+        # keeps existing positions), so scanning nodes past the last-seen
+        # index finds exactly the new samples.  Whether a sample descends
+        # from the barrier never changes, so old verdicts stay valid; a
+        # barrier move resets the scan.
+        fresh: List[Sample] = []
+        scanned = 0
 
         while True:
             obs = yield from ctx.take_step()  # line 6
@@ -111,6 +169,8 @@ class SigmaNuExtractor(Process):
                 barrier = own
                 cached = {0: None, 1: None}
                 last_search_size = -(10**9)
+                fresh = []
+                scanned = 0
             assert barrier is not None
 
             # Throttle: the schedule search is the expensive part, so only
@@ -118,20 +178,21 @@ class SigmaNuExtractor(Process):
             if len(core.dag) - last_search_size < search.search_growth:
                 continue
             last_search_size = len(core.dag)
-            fresh = core.dag.descendants(barrier)  # line 14
+            nodes = core.dag.nodes()  # line 14: G_p | u_p, incrementally
+            is_ancestor = SampleDAG.is_ancestor
+            for s in nodes[scanned:]:
+                if is_ancestor(barrier, s) or s.key == barrier.key:
+                    fresh.append(s)
+            scanned = len(nodes)
 
             # Lines 15-17: look for deciding schedules from I_0 and I_1.
+            # Both configurations search through the same trie: the interned
+            # chain structure is shared, only the per-configuration caches
+            # (steps, decisions, snapshots) differ.
             for index, proposals in ((0, proposals0), (1, proposals1)):
                 if cached[index] is None:
-                    cached[index] = find_deciding_schedule(
-                        self.subject,
-                        ctx.n,
-                        proposals,
-                        fresh,
-                        target=ctx.pid,
-                        max_path_len=search.max_path_len,
-                        minimize_participants=search.minimize_participants,
-                        max_subset_size=search.max_subset_size,
+                    cached[index] = self._find(
+                        proposals, fresh, ctx.pid, barrier
                     )
             sim0, sim1 = cached[0], cached[1]
             if sim0 is None or sim1 is None:
@@ -146,3 +207,5 @@ class SigmaNuExtractor(Process):
             barrier = own
             cached = {0: None, 1: None}
             last_search_size = -(10**9)
+            fresh = []
+            scanned = 0

@@ -108,12 +108,43 @@ def canonical_schedule(
 def _subsets_containing(
     pool: Sequence[int], anchor: int, max_size: Optional[int] = None
 ) -> Iterable[FrozenSet[int]]:
-    """Subsets of ``pool`` containing ``anchor``, smallest first."""
+    """Subsets of ``pool`` containing ``anchor``, smallest first.
+
+    Every yielded subset has at most ``max_size`` members (the anchor
+    included); a cap below 1 cannot admit even the singleton ``{anchor}``
+    and is rejected rather than silently yielding nothing.
+    """
+    if max_size is not None and max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
     rest = [p for p in pool if p != anchor]
     limit = len(rest) if max_size is None else min(len(rest), max_size - 1)
     for size in range(0, limit + 1):
         for combo in itertools.combinations(rest, size):
             yield frozenset((anchor,) + combo)
+
+
+def _capped_subset(
+    present: Sequence[int],
+    target: int,
+    counts: Mapping[int, int],
+    max_subset_size: Optional[int],
+) -> FrozenSet[int]:
+    """The process set for a single (non-minimizing) attempt.
+
+    Respects ``max_subset_size`` — previously the non-minimizing mode
+    ignored the cap entirely — by keeping ``target`` plus the best-sampled
+    other processes (deterministically: most fresh samples first, then
+    lowest pid).
+    """
+    if max_subset_size is not None and max_subset_size < 1:
+        raise ValueError(f"max_subset_size must be >= 1, got {max_subset_size}")
+    if max_subset_size is None or len(present) <= max_subset_size:
+        return frozenset(present)
+    rest = sorted(
+        (p for p in present if p != target),
+        key=lambda p: (-counts.get(p, 0), p),
+    )
+    return frozenset([target] + rest[: max_subset_size - 1])
 
 
 def find_deciding_schedule(
@@ -125,6 +156,7 @@ def find_deciding_schedule(
     max_path_len: int = 2000,
     minimize_participants: bool = True,
     max_subset_size: Optional[int] = None,
+    trie: Optional["SimulationTrie"] = None,
 ) -> Optional[PathSimulation]:
     """Find a schedule in ``Sch(G|u, I)`` in which ``target`` decides.
 
@@ -132,28 +164,49 @@ def find_deciding_schedule(
     topological order or not; they are re-sorted).  When
     ``minimize_participants`` is set, candidate process subsets containing
     ``target`` are tried smallest-first so the returned schedule (and hence
-    the extracted quorum) is small; otherwise a single attempt over all
-    processes present is made.
+    the extracted quorum) is small; otherwise a single attempt over the
+    (``max_subset_size``-capped) processes present is made.
+
+    When a :class:`~repro.core.simtrie.SimulationTrie` is supplied, chains
+    are simulated through it — identical results, with prefixes past the
+    longest cached one replayed for free.  For the fully incremental search
+    (delta-based subset pruning across attempts) use
+    :class:`~repro.core.simtrie.IncrementalExtractionEngine` instead.
 
     Returns ``None`` when no deciding schedule exists over these samples —
     the caller waits for the DAG to grow (Lemma 5.1 guarantees eventual
     success for correct processes).
     """
-    present = sorted({s.pid for s in fresh_nodes})
+    counts: Dict[int, int] = {}
+    for s in fresh_nodes:
+        counts[s.pid] = counts.get(s.pid, 0) + 1
+    present = sorted(counts)
     if target not in present:
         return None
 
+    def simulate(chain: Sequence[Sample]) -> PathSimulation:
+        if trie is not None:
+            return trie.simulate(proposals, chain, target)
+        return canonical_schedule(automaton, n, proposals, chain, target)
+
     if not minimize_participants:
-        chain = balanced_chain(fresh_nodes)[:max_path_len]
-        result = canonical_schedule(automaton, n, proposals, chain, target)
+        subset = _capped_subset(present, target, counts, max_subset_size)
+        chain = balanced_chain(
+            [s for s in fresh_nodes if s.pid in subset]
+        )[:max_path_len]
+        result = simulate(chain)
         return result if result.target_decided else None
 
     for subset in _subsets_containing(present, target, max_subset_size):
-        chain = balanced_chain([s for s in fresh_nodes if s.pid in subset])
-        chain = chain[:max_path_len]
+        filtered = [s for s in fresh_nodes if s.pid in subset]
+        # Cheap precheck: without a fresh sample of the target the chain
+        # cannot contain a target step, so skip before building the chain.
+        if not any(s.pid == target for s in filtered):
+            continue
+        chain = balanced_chain(filtered)[:max_path_len]
         if not any(s.pid == target for s in chain):
             continue
-        result = canonical_schedule(automaton, n, proposals, chain, target)
+        result = simulate(chain)
         if result.target_decided:
             return result
     return None

@@ -13,7 +13,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence
 
-from repro.analysis.metrics import RunMetrics, collect_metrics
+from repro.analysis.metrics import (
+    RunMetrics,
+    collect_metrics,
+    collect_search_counters,
+)
 from repro.consensus.interface import ConsensusOutcome, consensus_outcome
 from repro.consensus.properties import (
     PropertyReport,
@@ -205,6 +209,8 @@ class BoostRunOutcome:
     recorded: RecordedHistory
     check: CheckResult
     metrics: RunMetrics
+    #: Merged closed-path memo counters of the booster processes.
+    search_counters: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -245,6 +251,7 @@ def run_boosting(
         recorded=recorded,
         check=check,
         metrics=collect_metrics(result),
+        search_counters=collect_search_counters(processes.values()),
     )
 
 
@@ -257,6 +264,9 @@ class ExtractionRunOutcome:
     sigma_nu_check: CheckResult
     sigma_check: CheckResult
     metrics: RunMetrics
+    #: Merged trie/search work counters of the extractor processes
+    #: (``None`` on the from-scratch search path).
+    search_counters: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -305,6 +315,7 @@ def run_extraction(
         sigma_nu_check=check_sigma_nu(recorded, pattern, horizon=recorded.horizon),
         sigma_check=check_sigma(recorded, pattern, horizon=recorded.horizon),
         metrics=collect_metrics(result),
+        search_counters=collect_search_counters(processes.values()),
     )
 
 

@@ -94,6 +94,18 @@ class Automaton:
         """The value decided in ``state``, or ``None``."""
         return None
 
+    def copy_state(self, state: Any) -> Any:
+        """An independent copy of ``state``, safe to transition separately.
+
+        Because ``transition`` may mutate in place, anything that branches a
+        configuration (the simulation trie's snapshots, the bounded
+        explorer) must copy states first.  The default deep-copies; automata
+        with simple state layouts should override with something cheaper.
+        """
+        import copy
+
+        return copy.deepcopy(state)
+
     def snapshot(self, state: Any) -> Any:
         """A comparable, immutable summary of ``state``.
 

@@ -59,6 +59,29 @@ class PureSystemSimulator:
         self.steps_applied = 0
         self.messages_sent = 0
 
+    def fork(self) -> "PureSystemSimulator":
+        """An independent simulator at the current configuration.
+
+        Process states are copied through
+        :meth:`~repro.kernel.automaton.Automaton.copy_state` (transitions
+        may mutate in place); messages are immutable and shared.  Forks are
+        what the simulation trie stores as snapshots and restores from, so
+        the original keeps behaving as if never forked.
+        """
+        twin = PureSystemSimulator.__new__(PureSystemSimulator)
+        twin.automaton = self.automaton
+        twin.n = self.n
+        twin.proposals = self.proposals
+        twin.states = {
+            p: self.automaton.copy_state(s) for p, s in self.states.items()
+        }
+        twin.pending = dict(self.pending)
+        twin._seq = dict(self._seq)
+        twin.send_indices = dict(self.send_indices)
+        twin.steps_applied = self.steps_applied
+        twin.messages_sent = self.messages_sent
+        return twin
+
     # ------------------------------------------------------------------
     # Applicability and application
     # ------------------------------------------------------------------
