@@ -21,7 +21,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import random
 import sys
 import time
@@ -125,15 +124,13 @@ def main(argv=None) -> int:
         flush=True,
     )
 
+    from repro.obs.export import environment_stamp
+
     report = {
         "schema": "bench-extraction/1",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "quick": args.quick,
-        "environment": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-        },
+        "environment": environment_stamp(REPO_ROOT),
         "workload": (
             f"T_{{D->Sigma^nu}} over quorum-MR / (Omega, Sigma), n={N}, "
             f"max {MAX_STEPS} steps, {MIN_OUTPUTS} outputs per correct "

@@ -9,7 +9,9 @@ Measures the run engine and the sweep driver and writes ``BENCH_kernel.json``
 * one serial-vs-parallel sweep comparison (``jobs=1`` against ``--jobs N``)
   with the observed speedup.  On single-CPU machines the honest number is
   ~1.0x or below — the driver exists for multi-core hosts, and correctness
-  (bit-identical tables for every job count) is covered by the test suite.
+  (bit-identical tables for every job count) is covered by the test suite;
+* a per-phase breakdown of one traced EXP-3 quick run (span aggregates and
+  deterministic work counters from :mod:`repro.obs`).
 
 ``--quick`` trims repeats and times only a sweep subset so CI stays fast.
 """
@@ -19,7 +21,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
 import time
 from typing import Any, Dict, List
@@ -124,6 +125,29 @@ def _runner_name(name: str) -> str:
     return f"{name}_{suffixes[name]}"
 
 
+def bench_phases() -> Dict[str, Any]:
+    """Per-phase breakdown of a traced EXP-3 quick run.
+
+    Runs EXP-3 once under the tracer and reports each span name's count,
+    logical-tick totals and wall time, plus the deterministic counter
+    totals the run recorded.  The tick/counter numbers are reproducible;
+    only ``wall_ms`` varies between hosts.
+    """
+    from repro import obs
+    from repro.harness import experiments
+    from repro.obs.inspect import aggregate_spans
+
+    kwargs = dict(QUICK_OVERRIDES["exp3"])
+    with obs.tracing(label="bench:exp3") as tracer:
+        wall = _timed(lambda: experiments.exp3_extraction(**kwargs, jobs=1))
+    return {
+        "experiment": "exp3",
+        "wall_s": round(wall, 3),
+        "spans": aggregate_spans(tracer.records),
+        "counters": obs.metrics().counters(),
+    }
+
+
 def bench_parallel(jobs: int) -> Dict[str, Any]:
     from repro.harness import experiments
 
@@ -179,6 +203,13 @@ def main(argv=None) -> int:
     )
     print("experiment sweeps (quick parameterization) ...", flush=True)
     experiments = bench_experiments(names)
+    print("traced exp3 phase breakdown ...", flush=True)
+    phases = bench_phases()
+    top = sorted(
+        phases["spans"].items(), key=lambda kv: -kv[1]["wall_ms"]
+    )[:3]
+    for name, agg in top:
+        print(f"  {name}: x{agg['count']}, {agg['wall_ms']}ms", flush=True)
     print(f"serial vs --jobs {args.jobs} (exp1) ...", flush=True)
     sweep = bench_parallel(args.jobs)
     if "skipped" in sweep:
@@ -190,22 +221,16 @@ def main(argv=None) -> int:
             flush=True,
         )
 
-    try:
-        affinity = len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        affinity = None
+    from repro.obs.export import environment_stamp
+
     report = {
         "schema": "bench-kernel/1",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "quick": args.quick,
-        "environment": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-            "cpu_affinity": affinity,
-        },
+        "environment": environment_stamp(REPO_ROOT),
         "kernel": kernel,
         "experiments": experiments,
+        "phases": phases,
         "sweep_parallelism": sweep,
     }
     with open(args.output, "w") as fh:

@@ -7,6 +7,7 @@ from typing import Dict, Iterable, Optional
 
 from repro.core.simtrie import merge_counter_dicts
 from repro.kernel.system import RunResult
+from repro import obs as _obs
 
 
 @dataclass
@@ -21,6 +22,9 @@ class RunMetrics:
     first_decision_time: Optional[int]
     last_decision_time: Optional[int]
     outputs_emitted: int
+    #: Decisions across *all* processes (faulty deciders included), unlike
+    #: ``decided_correct`` which counts only the correct ones.
+    decided_total: int = 0
 
     @property
     def all_correct_decided(self) -> bool:
@@ -47,6 +51,7 @@ def collect_metrics(result: RunResult) -> RunMetrics:
         first_decision_time=min(times) if times else None,
         last_decision_time=max(times) if times else None,
         outputs_emitted=outputs,
+        decided_total=len(result.decisions),
     )
 
 
@@ -67,7 +72,10 @@ def collect_search_counters(processes: Iterable[object]) -> Optional[Dict[str, i
         counters = getter()
         if counters:
             dicts.append(counters)
-    return merge_counter_dicts(dicts)
+    merged = merge_counter_dicts(dicts)
+    if merged and _obs._ENABLED:
+        _obs.metrics().absorb(merged, prefix="search.")
+    return merged
 
 
 def message_breakdown(result: RunResult) -> Dict[str, int]:

@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Set,
 from repro.core.simtrie import DigestCache
 from repro.kernel.automaton import Automaton, DeliveredMessage
 from repro.kernel.failures import FailurePattern
+from repro import obs as _obs
 
 HistoryFn = Callable[[int, int], Any]
 
@@ -99,6 +100,42 @@ def explore(
     configuration.  ``None`` uses a private cache; pass one to share it
     across related explorations of the same automaton.
     """
+    if not _obs._ENABLED:
+        return _explore_impl(
+            automaton, pattern, proposals, history, invariant,
+            max_depth, max_configs, digest_cache,
+        )
+    with _obs.tracer().span(
+        "modelcheck.explore", n=pattern.n, max_depth=max_depth
+    ) as span:
+        report = _explore_impl(
+            automaton, pattern, proposals, history, invariant,
+            max_depth, max_configs, digest_cache,
+        )
+        span.set(
+            configurations=report.configurations,
+            transitions=report.transitions,
+            truncated=report.truncated,
+            ok=report.ok,
+        )
+        reg = _obs.metrics()
+        reg.inc("modelcheck.explorations")
+        reg.inc("modelcheck.configurations", report.configurations)
+        reg.inc("modelcheck.transitions", report.transitions)
+        reg.inc("modelcheck.digest_hits", report.digest_hits)
+        return report
+
+
+def _explore_impl(
+    automaton: Automaton,
+    pattern: FailurePattern,
+    proposals: Mapping[int, Any],
+    history: HistoryFn,
+    invariant: Callable[[Dict[int, Any], "_MessageView"], Optional[str]],
+    max_depth: int = 8,
+    max_configs: int = 200_000,
+    digest_cache: Optional[DigestCache] = None,
+) -> ExplorationReport:
     if digest_cache is None:
         digest_cache = DigestCache()
     n = pattern.n

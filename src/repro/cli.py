@@ -12,6 +12,8 @@ Commands
 ``extract``        run the necessity transformation T_{D -> Σν} and report
                    the emitted quorums and checker verdicts
 ``reproduce``      run all nine experiments and print one combined report
+``trace``          inspect a JSONL trace written by ``--trace-out``
+                   (timeline, per-span aggregates, counter totals)
 
 Every command is a thin veneer over the public library API; the CLI exists
 so the reproduction can be poked without writing Python.
@@ -24,8 +26,34 @@ import random
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from contextlib import contextmanager
+
 from repro.analysis.trace import decision_summary, transcript
 from repro.kernel.failures import FailurePattern
+
+
+@contextmanager
+def _maybe_traced(args, label: str):
+    """Trace the command body into ``args.trace_out`` when requested."""
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        yield
+        return
+    from repro import obs
+    from repro.obs.export import environment_stamp, write_trace
+
+    tracer = obs.enable(label=label)
+    try:
+        yield
+    finally:
+        obs.disable()
+        count = write_trace(
+            trace_out,
+            tracer,
+            registry=obs.metrics(),
+            meta={"command": label, "environment": environment_stamp()},
+        )
+        print(f"(trace: {count} records -> {trace_out})")
 
 
 def _parse_crashes(items: Sequence[str]) -> Dict[int, int]:
@@ -96,7 +124,8 @@ def cmd_experiment(args) -> int:
     runner = runners[args.name]
     kwargs = dict(quick_overrides[args.name]) if args.quick else {}
     kwargs["jobs"] = args.jobs
-    table = runner(**kwargs)
+    with _maybe_traced(args, f"experiment:{args.name}"):
+        table = runner(**kwargs)
     print(table.render())
     return 0
 
@@ -150,7 +179,8 @@ def cmd_extract(args) -> int:
 
     pattern = _pattern_from_args(args)
     detector = PairedDetector(Omega(), Sigma("pivot"))
-    outcome = run_extraction(QuorumMR(), detector, pattern, seed=args.seed)
+    with _maybe_traced(args, "extract"):
+        outcome = run_extraction(QuorumMR(), detector, pattern, seed=args.seed)
     print(f"pattern : {pattern}")
     for p in range(args.n):
         quorums = [sorted(q) for _, q in outcome.result.outputs[p]]
@@ -206,6 +236,30 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.obs.export import read_trace, validate_trace
+    from repro.obs.inspect import render_trace
+
+    records = read_trace(args.file)
+    errors = validate_trace(records)
+    if errors:
+        print(f"{args.file}: {len(errors)} schema error(s)")
+        for error in errors:
+            print(f"  - {error}")
+        if not args.force:
+            return 1
+    print(
+        render_trace(
+            records,
+            top=args.top,
+            width=args.width,
+            max_rows=args.max_rows,
+            timeline=not args.no_timeline,
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -258,6 +312,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep (default 1 = serial; "
         "results are identical for every N)",
     )
+    experiment.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a repro-trace/1 JSONL trace of the sweep "
+        "(inspect with 'repro trace FILE')",
+    )
     experiment.set_defaults(func=cmd_experiment)
 
     contamination = sub.add_parser(
@@ -285,6 +346,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--crash", action="append", default=[], metavar="PID:TIME"
     )
     extract.add_argument("--seed", type=int, default=0)
+    extract.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a repro-trace/1 JSONL trace of the extraction run",
+    )
     extract.set_defaults(func=cmd_extract)
 
     reproduce = sub.add_parser(
@@ -304,6 +371,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes per sweep (default 1 = serial)",
     )
     reproduce.set_defaults(func=cmd_reproduce)
+
+    trace = sub.add_parser(
+        "trace", help="inspect a JSONL trace written by --trace-out"
+    )
+    trace.add_argument("file", help="repro-trace/1 JSONL file")
+    trace.add_argument(
+        "--top", type=int, default=12, metavar="N",
+        help="rows in the per-span aggregate table (by self ticks)",
+    )
+    trace.add_argument(
+        "--width", type=int, default=64, metavar="COLS",
+        help="timeline bar width in columns",
+    )
+    trace.add_argument(
+        "--max-rows", type=int, default=40, metavar="N",
+        help="maximum timeline rows before truncation",
+    )
+    trace.add_argument(
+        "--no-timeline", action="store_true", help="skip the ASCII timeline"
+    )
+    trace.add_argument(
+        "--force", action="store_true",
+        help="render even if schema validation fails",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

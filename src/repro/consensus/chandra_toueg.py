@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.kernel.automaton import Automaton, DeliveredMessage, TransitionOutcome
+from repro import obs as _obs
 
 EST = "EST"  # (EST, r, estimate, ts) -> coordinator
 COORD = "COORD"  # (COORD, r, estimate) -> all
@@ -168,6 +169,8 @@ class ChandraTouegS(Automaton):
         if state.phase == "next-round":
             state.round += 1
             state.phase = "send-est"
+            if _obs._ENABLED:
+                _obs.metrics().inc(f"consensus.rounds.{self.name}")
             return True
 
         raise AssertionError(f"unknown phase {state.phase!r}")

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.kernel.automaton import Automaton, DeliveredMessage, TransitionOutcome
+from repro import obs as _obs
 
 FLOOD = "FLOOD"
 VECTOR = "VECTOR"
@@ -116,6 +117,8 @@ class FloodSetPerfect(Automaton):
             if state.round < max(1, state.n - 1):
                 state.round += 1
                 state.round_sent = False
+                if _obs._ENABLED:
+                    _obs.metrics().inc(f"consensus.rounds.{self.name}")
             else:
                 state.phase = VECTOR
                 state.round_sent = False

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.kernel.automaton import Automaton, DeliveredMessage, TransitionOutcome
+from repro import obs as _obs
 
 UNKNOWN = "?"
 
@@ -196,6 +197,8 @@ class LeaderQuorumConsensus(Automaton):
             state.round += 1
             state.phase = LEAD
             state.round_opened = False
+            if _obs._ENABLED:
+                _obs.metrics().inc(f"consensus.rounds.{self.name}")
             return True
 
         raise AssertionError(f"unknown phase {state.phase!r}")

@@ -31,6 +31,8 @@ from typing import Any, Dict, FrozenSet, Generator, List, Optional, Sequence, Tu
 from repro.core.dag import DagCore, Sample, SampleDAG
 from repro.core.simtrie import PathTrie
 from repro.kernel.automaton import Process, ProcessContext
+# Aliased: ``obs`` is the observation local inside program() below.
+from repro import obs as obslib
 
 
 def trusted(path: Sequence[Sample]) -> FrozenSet[int]:
@@ -142,11 +144,30 @@ def find_closed_path(
     ``memo`` serves the trusted-union of already-interned chain prefixes
     from cache; results are identical with or without it.
     """
+    if not obslib._ENABLED:
+        return _find_closed_path(dag, pid, barrier, memo)
+    reg = obslib.metrics()
+    reg.inc("boost.path_searches")
+    with obslib.tracer().span("boost.path_search", pid=pid) as span:
+        chain = _find_closed_path(dag, pid, barrier, memo, reg=reg)
+        span.set(found=chain is not None)
+        return chain
+
+
+def _find_closed_path(
+    dag: SampleDAG,
+    pid: int,
+    barrier: Sample,
+    memo: Optional[ClosedPathMemo] = None,
+    reg: Optional[Any] = None,
+) -> Optional[List[Sample]]:
     top = dag.latest_sample(pid)
     if top is None:
         return None
     candidate: FrozenSet[int] = frozenset([pid])
     for _ in range(dag.n + 1):  # closure adds >= 1 process per iteration
+        if reg is not None:
+            reg.inc("boost.closure_rounds")
         chain = frontier_cascade(dag, top, candidate, barrier)
         if chain is None:
             return None
@@ -221,6 +242,14 @@ class SigmaNuPlusBooster(Process):
                 continue
             quorum = path_participants(path)  # line 16
             ctx.output(quorum)
+            if obslib._ENABLED:
+                obslib.metrics().inc("boost.quorums")
+                obslib.tracer().event(
+                    "boost.quorum",
+                    tick=obs.time,
+                    pid=ctx.pid,
+                    quorum=sorted(quorum),
+                )
             self.evidence.append(
                 _BoostEvidence(quorum=quorum, path=tuple(path), barrier=barrier)
             )

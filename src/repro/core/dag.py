@@ -39,6 +39,8 @@ from typing import (
     Tuple,
 )
 
+from repro import obs as _obs
+
 SampleKey = Tuple[int, int]  # (pid, k)
 
 
@@ -444,6 +446,7 @@ class BalancedChainBuilder:
         counts = self._counts
         chain = self._chain
         last = self._last
+        built0 = len(chain)
         while True:
             candidates: Dict[int, Sample] = {}
             exhausted = False
@@ -485,3 +488,8 @@ class BalancedChainBuilder:
             pointers[pid] += 1
             last = node
         self._last = last
+        if _obs._ENABLED:
+            reg = _obs.metrics()
+            reg.inc("dag.chain_builds")
+            reg.inc("dag.chain_appends", len(chain) - built0)
+            reg.gauge("dag.chain_len", len(chain))

@@ -30,6 +30,8 @@ from repro.core.dag import DagCore, Sample, SampleDAG
 from repro.core.simtrie import IncrementalExtractionEngine
 from repro.core.simulation import PathSimulation, find_deciding_schedule
 from repro.kernel.automaton import Automaton, Process, ProcessContext
+# Aliased: ``obs`` is the observation local inside program() below.
+from repro import obs as obslib
 
 
 @dataclass
@@ -118,6 +120,26 @@ class SigmaNuExtractor(Process):
         target: int,
         barrier: Sample,
     ) -> Optional[PathSimulation]:
+        if not obslib._ENABLED:
+            return self._find_impl(proposals, fresh, target, barrier)
+        obslib.metrics().inc("extract.find_calls")
+        with obslib.tracer().span(
+            "extract.find",
+            value=next(iter(proposals.values()), None),
+            fresh=len(fresh),
+            pid=target,
+        ) as span:
+            found = self._find_impl(proposals, fresh, target, barrier)
+            span.set(found=found is not None)
+            return found
+
+    def _find_impl(
+        self,
+        proposals: Mapping[int, Any],
+        fresh: List[Sample],
+        target: int,
+        barrier: Sample,
+    ) -> Optional[PathSimulation]:
         search = self.search
         if self.engine is not None:
             return self.engine.find_deciding_schedule(
@@ -189,11 +211,26 @@ class SigmaNuExtractor(Process):
             # Both configurations search through the same trie: the interned
             # chain structure is shared, only the per-configuration caches
             # (steps, decisions, snapshots) differ.
-            for index, proposals in ((0, proposals0), (1, proposals1)):
-                if cached[index] is None:
-                    cached[index] = self._find(
-                        proposals, fresh, ctx.pid, barrier
-                    )
+            if obslib._ENABLED:
+                obslib.metrics().inc("extract.search_ticks")
+                with obslib.tracer().span(
+                    "extract.search_tick",
+                    tick=obs.time,
+                    pid=ctx.pid,
+                    dag=len(core.dag),
+                    fresh=len(fresh),
+                ):
+                    for index, proposals in ((0, proposals0), (1, proposals1)):
+                        if cached[index] is None:
+                            cached[index] = self._find(
+                                proposals, fresh, ctx.pid, barrier
+                            )
+            else:
+                for index, proposals in ((0, proposals0), (1, proposals1)):
+                    if cached[index] is None:
+                        cached[index] = self._find(
+                            proposals, fresh, ctx.pid, barrier
+                        )
             sim0, sim1 = cached[0], cached[1]
             if sim0 is None or sim1 is None:
                 continue
@@ -201,6 +238,14 @@ class SigmaNuExtractor(Process):
             # Lines 18-19: output the union of participants, move the barrier.
             quorum = sim0.participants | sim1.participants
             ctx.output(quorum)
+            if obslib._ENABLED:
+                obslib.metrics().inc("extract.quorums")
+                obslib.tracer().event(
+                    "extract.quorum",
+                    tick=obs.time,
+                    pid=ctx.pid,
+                    quorum=sorted(quorum),
+                )
             self.evidence.append(
                 _QuorumEvidence(quorum=quorum, sim0=sim0, sim1=sim1, barrier=barrier)
             )

@@ -44,6 +44,15 @@ from repro.harness.runner import (
 )
 from repro.kernel.failures import FailurePattern
 from repro.separation.contamination import run_contamination_scenario
+from repro import obs as _obs
+
+
+def _sweep(name: str, tasks: List[SweepTask], jobs: int) -> List[Any]:
+    """Dispatch an experiment's tasks under an ``exp.<name>`` span."""
+    if not _obs._ENABLED:
+        return run_sweep(tasks, jobs=jobs)
+    with _obs.tracer().span(f"exp.{name}", tasks=len(tasks), jobs=jobs):
+        return run_sweep(tasks, jobs=jobs)
 
 
 def exp1_nuc_sufficiency(
@@ -106,7 +115,7 @@ def exp1_nuc_sufficiency(
                     )
                 )
             groups.append(("stack", n, len(seeds)))
-    results = run_sweep(tasks, jobs=jobs)
+    results = _sweep("exp1", tasks, jobs)
     cursor = 0
     for algo, n, count in groups:
         outcomes = results[cursor : cursor + count]
@@ -163,7 +172,7 @@ def exp2_boosting(
                     )
                 )
             groups.append((n, style))
-    results = run_sweep(tasks, jobs=jobs)
+    results = _sweep("exp2", tasks, jobs)
     cursor = 0
     for n, style in groups:
         outcomes = results[cursor : cursor + len(seeds)]
@@ -259,7 +268,7 @@ def exp3_extraction(
                     )
                 )
             groups.append((label, n))
-    results = run_sweep(tasks, jobs=jobs)
+    results = _sweep("exp3", tasks, jobs)
     cursor = 0
     for label, n in groups:
         outcomes = results[cursor : cursor + len(seeds)]
@@ -335,7 +344,7 @@ def exp4_separation(
                     SweepTask(_exp4_adversary_task, dict(n=n, t=t, seed=seed))
                 )
         groups.append((n, t, majority))
-    results = run_sweep(tasks, jobs=jobs)
+    results = _sweep("exp4", tasks, jobs)
     cursor = 0
     for n, t, majority in groups:
         outcomes = results[cursor : cursor + len(seeds)]
@@ -378,7 +387,7 @@ def exp5_contamination(seeds: Sequence[int] = (0, 1, 2), jobs: int = 1) -> Table
         for algorithm in ("naive", "anuc")
         for seed in seeds
     ]
-    results = run_sweep(tasks, jobs=jobs)
+    results = _sweep("exp5", tasks, jobs)
     for task, report in zip(tasks, results):
         correct_decisions = {
             p: v for p, v in report.decisions.items() if p in (0, 1)
@@ -415,7 +424,7 @@ def exp6_merging(
         SweepTask(random_mergeable_pair_report, dict(n=n, seed=seed))
         for seed in seeds
     ]
-    results = run_sweep(tasks, jobs=jobs)
+    results = _sweep("exp6", tasks, jobs)
     for seed, report in zip(seeds, results):
         table.add_row(
             seed,
@@ -495,7 +504,7 @@ def exp7_scaling(
                     )
                 )
             groups.append((algo, n))
-    results = run_sweep(tasks, jobs=jobs)
+    results = _sweep("exp7", tasks, jobs)
     cursor = 0
     for label, n in groups:
         outcomes = results[cursor : cursor + len(seeds)]
@@ -569,7 +578,7 @@ def exp8_exhaustive(
                 )
                 count += 1
         groups.append((members, len(patterns), count))
-    results = run_sweep(tasks, jobs=jobs)
+    results = _sweep("exp8", tasks, jobs)
     cursor = 0
     for members, pattern_count, count in groups:
         outcomes = results[cursor : cursor + count]
@@ -644,43 +653,48 @@ def exp9_registers(
         "EXP-9: quorum registers — Sigma atomic, Sigma^nu contaminable",
         ["arm", "seed", "operations", "atomic", "note"],
     )
-    for seed in seeds:
-        rng = _random.Random(f"exp9/{seed}")
-        n = 4
-        pattern = FailurePattern(n, {3: rng.randint(20, 50)})
-        scripts = {
-            0: [("write", f"a{seed}"), ("read",)],
-            1: [("read",), ("write", f"b{seed}")],
-            2: [("read",), ("read",)],
-            3: [("write", f"c{seed}")],
-        }
-        history = _Sigma("pivot").sample_history(pattern, rng)
-        harness = RegisterHarness(
-            pattern=pattern, history=history, scripts=scripts, seed=seed
-        )
-        _, records, procs = harness.run()
-        report = check_register_safety(
-            records, RegisterHarness.incomplete_writes(procs)
-        )
-        table.add_row("Sigma / ABD", seed, len(records), report.ok, "random workload")
-    for seed in seeds:
-        report = run_lost_write_scenario(seed=seed)
+    # Inline-only "sweep": the span mirrors what _sweep adds elsewhere
+    # (the null tracer makes this a no-op while tracing is off).
+    with _obs.tracer().span("exp.exp9", seeds=len(seeds)):
+        for seed in seeds:
+            rng = _random.Random(f"exp9/{seed}")
+            n = 4
+            pattern = FailurePattern(n, {3: rng.randint(20, 50)})
+            scripts = {
+                0: [("write", f"a{seed}"), ("read",)],
+                1: [("read",), ("write", f"b{seed}")],
+                2: [("read",), ("read",)],
+                3: [("write", f"c{seed}")],
+            }
+            history = _Sigma("pivot").sample_history(pattern, rng)
+            harness = RegisterHarness(
+                pattern=pattern, history=history, scripts=scripts, seed=seed
+            )
+            _, records, procs = harness.run()
+            report = check_register_safety(
+                records, RegisterHarness.incomplete_writes(procs)
+            )
+            table.add_row(
+                "Sigma / ABD", seed, len(records), report.ok, "random workload"
+            )
+        for seed in seeds:
+            report = run_lost_write_scenario(seed=seed)
+            table.add_row(
+                "Sigma^nu / lost write",
+                seed,
+                2,
+                report.safety.ok,
+                "history legal Sigma^nu"
+                if report.sigma_nu_check.ok
+                else "HISTORY INVALID?",
+            )
         table.add_row(
-            "Sigma^nu / lost write",
-            seed,
-            2,
-            report.safety.ok,
-            "history legal Sigma^nu"
-            if report.sigma_nu_check.ok
-            else "HISTORY INVALID?",
+            "Sigma control arm",
+            0,
+            0,
+            True,
+            "isolated write blocks"
+            if run_sigma_control_arm()
+            else "UNEXPECTED: write completed",
         )
-    table.add_row(
-        "Sigma control arm",
-        0,
-        0,
-        True,
-        "isolated write blocks"
-        if run_sigma_control_arm()
-        else "UNEXPECTED: write completed",
-    )
     return table

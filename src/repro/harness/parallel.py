@@ -24,7 +24,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro import obs as _obs
 
 
 @dataclass(frozen=True)
@@ -45,6 +47,20 @@ class SweepTask:
 
 def _execute(task: SweepTask) -> Any:
     return task.run()
+
+
+def _execute_metered(task: SweepTask) -> Tuple[Any, Dict[str, Any]]:
+    """Run a task and return its result plus the metrics it recorded.
+
+    Runs in a worker that inherited an *enabled* obs state by fork; the
+    per-task registry delta travels back with the result so the parent can
+    merge it.  Counter sums and gauge maxes commute, so merging the deltas
+    in task order reproduces exactly the registry an inline (``jobs=1``)
+    sweep would have built.
+    """
+    before = _obs.metrics().snapshot()
+    result = task.run()
+    return result, _obs.metrics().delta_since(before)
 
 
 def default_jobs() -> int:
@@ -77,10 +93,24 @@ def run_sweep(
     task_list = list(tasks)
     if jobs is None:
         jobs = default_jobs()
+    if _obs._ENABLED:
+        _obs.metrics().inc("sweep.tasks", len(task_list))
     if jobs <= 1 or len(task_list) <= 1:
         return [task.run() for task in task_list]
     jobs = min(jobs, len(task_list))
     if chunksize is None:
         chunksize = max(1, len(task_list) // (jobs * 4))
+    if _obs._ENABLED:
+        # Workers inherit the enabled obs state by fork and report their
+        # registry deltas alongside each result; merging them in task order
+        # makes jobs=1 and jobs=N sweeps report identical metrics.  (Worker
+        # span records stay in the workers: traces keep parent-side spans
+        # only, while counters/gauges account for all sweep work.)
+        with _pool_context().Pool(processes=jobs) as pool:
+            pairs = pool.map(_execute_metered, task_list, chunksize=chunksize)
+        registry = _obs.metrics()
+        for _, delta in pairs:
+            registry.merge(delta)
+        return [result for result, _ in pairs]
     with _pool_context().Pool(processes=jobs) as pool:
         return pool.map(_execute, task_list, chunksize=chunksize)

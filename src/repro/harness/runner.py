@@ -51,6 +51,18 @@ from repro.kernel.failures import FailurePattern
 from repro.kernel.messages import CoalescingDelivery, DeliveryPolicy
 from repro.kernel.scheduler import SchedulingPolicy
 from repro.kernel.system import RunResult, System
+from repro import obs as _obs
+
+
+def _observed(kind: str, n: int, seed: int, thunk: Callable[[], Any]) -> Any:
+    """Run a runner body under a ``runner.<kind>`` span when tracing is on."""
+    if not _obs._ENABLED:
+        return thunk()
+    reg = _obs.metrics()
+    reg.inc("runner.runs")
+    reg.inc(f"runner.{kind}")
+    with _obs.tracer().span(f"runner.{kind}", n=n, seed=seed):
+        return thunk()
 
 
 def random_pattern(
@@ -120,20 +132,24 @@ def run_consensus_algorithm(
     trace: str = "full",
 ) -> ConsensusRunOutcome:
     """Run a pure-automaton consensus algorithm live."""
-    history = sample_history_cached(detector, pattern, seed)
-    processes = {
-        p: AutomatonProcess(automaton, proposals[p]) for p in range(pattern.n)
-    }
-    system = System(
-        processes,
-        pattern,
-        history,
-        seed=seed,
-        scheduler=scheduler,
-        delivery=delivery,
-        trace=trace,
-    )
-    return _finish_consensus(system, proposals, max_steps)
+
+    def go() -> ConsensusRunOutcome:
+        history = sample_history_cached(detector, pattern, seed)
+        processes = {
+            p: AutomatonProcess(automaton, proposals[p]) for p in range(pattern.n)
+        }
+        system = System(
+            processes,
+            pattern,
+            history,
+            seed=seed,
+            scheduler=scheduler,
+            delivery=delivery,
+            trace=trace,
+        )
+        return _finish_consensus(system, proposals, max_steps)
+
+    return _observed("consensus", pattern.n, seed, go)
 
 
 def run_nuc(
@@ -145,12 +161,15 @@ def run_nuc(
     trace: str = "full",
 ) -> ConsensusRunOutcome:
     """Run A_nuc with a synthetic (Omega, Sigma^nu+) history (Thm 6.27)."""
-    if detector is None:
-        detector = PairedDetector(Omega(), SigmaNuPlus())
-    history = sample_history_cached(detector, pattern, seed)
-    processes = {p: AnucProcess(proposals[p]) for p in range(pattern.n)}
-    system = System(processes, pattern, history, seed=seed, trace=trace)
-    return _finish_consensus(system, proposals, max_steps)
+
+    def go() -> ConsensusRunOutcome:
+        d = PairedDetector(Omega(), SigmaNuPlus()) if detector is None else detector
+        history = sample_history_cached(d, pattern, seed)
+        processes = {p: AnucProcess(proposals[p]) for p in range(pattern.n)}
+        system = System(processes, pattern, history, seed=seed, trace=trace)
+        return _finish_consensus(system, proposals, max_steps)
+
+    return _observed("nuc", pattern.n, seed, go)
 
 
 @dataclass
@@ -169,31 +188,34 @@ def run_stack(
     trace: str = "full",
 ) -> StackRunOutcome:
     """Run the composed (Omega, Sigma^nu) solver (Thm 6.28)."""
-    if detector is None:
-        detector = PairedDetector(Omega(), SigmaNu())
-    history = sample_history_cached(detector, pattern, seed)
-    processes = {
-        p: StackedNucProcess(proposals[p], pattern.n) for p in range(pattern.n)
-    }
-    system = System(
-        processes,
-        pattern,
-        history,
-        seed=seed,
-        delivery=CoalescingDelivery(),
-        trace=trace,
-    )
-    base = _finish_consensus(system, proposals, max_steps)
-    recorded = recorded_output_history(base.result)
-    boosted = check_sigma_nu_plus(recorded, pattern, horizon=recorded.horizon)
-    return StackRunOutcome(
-        result=base.result,
-        outcome=base.outcome,
-        nonuniform=base.nonuniform,
-        uniform=base.uniform,
-        metrics=base.metrics,
-        boosted_check=boosted,
-    )
+
+    def go() -> StackRunOutcome:
+        d = PairedDetector(Omega(), SigmaNu()) if detector is None else detector
+        history = sample_history_cached(d, pattern, seed)
+        processes = {
+            p: StackedNucProcess(proposals[p], pattern.n) for p in range(pattern.n)
+        }
+        system = System(
+            processes,
+            pattern,
+            history,
+            seed=seed,
+            delivery=CoalescingDelivery(),
+            trace=trace,
+        )
+        base = _finish_consensus(system, proposals, max_steps)
+        recorded = recorded_output_history(base.result)
+        boosted = check_sigma_nu_plus(recorded, pattern, horizon=recorded.horizon)
+        return StackRunOutcome(
+            result=base.result,
+            outcome=base.outcome,
+            nonuniform=base.nonuniform,
+            uniform=base.uniform,
+            metrics=base.metrics,
+            boosted_check=boosted,
+        )
+
+    return _observed("stack", pattern.n, seed, go)
 
 
 # ----------------------------------------------------------------------
@@ -227,32 +249,35 @@ def run_boosting(
     trace: str = "full",
 ) -> BoostRunOutcome:
     """Run T_{Sigma^nu -> Sigma^nu+} over a synthetic Sigma^nu history."""
-    if detector is None:
-        detector = SigmaNu()
-    history = sample_history_cached(detector, pattern, seed)
-    processes = {p: SigmaNuPlusBooster(pattern.n) for p in range(pattern.n)}
-    system = System(
-        processes,
-        pattern,
-        history,
-        seed=seed,
-        delivery=CoalescingDelivery(),
-        trace=trace,
-    )
-    result = system.run(
-        max_steps=max_steps,
-        stop_when=lambda s: s.correct_output_count(min_outputs),
-        extra_steps=extra_steps,
-    )
-    recorded = recorded_output_history(result)
-    check = check_sigma_nu_plus(recorded, pattern, horizon=recorded.horizon)
-    return BoostRunOutcome(
-        result=result,
-        recorded=recorded,
-        check=check,
-        metrics=collect_metrics(result),
-        search_counters=collect_search_counters(processes.values()),
-    )
+
+    def go() -> BoostRunOutcome:
+        d = SigmaNu() if detector is None else detector
+        history = sample_history_cached(d, pattern, seed)
+        processes = {p: SigmaNuPlusBooster(pattern.n) for p in range(pattern.n)}
+        system = System(
+            processes,
+            pattern,
+            history,
+            seed=seed,
+            delivery=CoalescingDelivery(),
+            trace=trace,
+        )
+        result = system.run(
+            max_steps=max_steps,
+            stop_when=lambda s: s.correct_output_count(min_outputs),
+            extra_steps=extra_steps,
+        )
+        recorded = recorded_output_history(result)
+        check = check_sigma_nu_plus(recorded, pattern, horizon=recorded.horizon)
+        return BoostRunOutcome(
+            result=result,
+            recorded=recorded,
+            check=check,
+            metrics=collect_metrics(result),
+            search_counters=collect_search_counters(processes.values()),
+        )
+
+    return _observed("boosting", pattern.n, seed, go)
 
 
 @dataclass
@@ -290,33 +315,37 @@ def run_extraction(
     full Sigma (Thm 5.8 — expected to pass when the subject solves uniform
     consensus with ``D``).
     """
-    history = sample_history_cached(detector, pattern, seed)
-    processes = {
-        p: SigmaNuExtractor(subject, pattern.n, search=search)
-        for p in range(pattern.n)
-    }
-    system = System(
-        processes,
-        pattern,
-        history,
-        seed=seed,
-        delivery=CoalescingDelivery(),
-        trace=trace,
-    )
-    result = system.run(
-        max_steps=max_steps,
-        stop_when=lambda s: s.correct_output_count(min_outputs),
-        extra_steps=extra_steps,
-    )
-    recorded = recorded_output_history(result)
-    return ExtractionRunOutcome(
-        result=result,
-        recorded=recorded,
-        sigma_nu_check=check_sigma_nu(recorded, pattern, horizon=recorded.horizon),
-        sigma_check=check_sigma(recorded, pattern, horizon=recorded.horizon),
-        metrics=collect_metrics(result),
-        search_counters=collect_search_counters(processes.values()),
-    )
+
+    def go() -> ExtractionRunOutcome:
+        history = sample_history_cached(detector, pattern, seed)
+        processes = {
+            p: SigmaNuExtractor(subject, pattern.n, search=search)
+            for p in range(pattern.n)
+        }
+        system = System(
+            processes,
+            pattern,
+            history,
+            seed=seed,
+            delivery=CoalescingDelivery(),
+            trace=trace,
+        )
+        result = system.run(
+            max_steps=max_steps,
+            stop_when=lambda s: s.correct_output_count(min_outputs),
+            extra_steps=extra_steps,
+        )
+        recorded = recorded_output_history(result)
+        return ExtractionRunOutcome(
+            result=result,
+            recorded=recorded,
+            sigma_nu_check=check_sigma_nu(recorded, pattern, horizon=recorded.horizon),
+            sigma_check=check_sigma(recorded, pattern, horizon=recorded.horizon),
+            metrics=collect_metrics(result),
+            search_counters=collect_search_counters(processes.values()),
+        )
+
+    return _observed("extraction", pattern.n, seed, go)
 
 
 def run_from_scratch_sigma(
@@ -335,24 +364,27 @@ def run_from_scratch_sigma(
     """
     from repro.separation.from_scratch_sigma import FromScratchSigma
 
-    processes = {p: FromScratchSigma(n, t) for p in range(n)}
-    system = System(
-        processes,
-        pattern,
-        history=lambda p, t_: None,  # no failure detector at all
-        seed=seed,
-        trace=trace,
-    )
-    result = system.run(
-        max_steps=max_steps,
-        stop_when=lambda s: s.correct_output_count(min_outputs),
-        extra_steps=extra_steps,
-    )
-    recorded = recorded_output_history(result)
-    check = check_sigma(recorded, pattern, horizon=recorded.horizon)
-    return BoostRunOutcome(
-        result=result,
-        recorded=recorded,
-        check=check,
-        metrics=collect_metrics(result),
-    )
+    def go() -> BoostRunOutcome:
+        processes = {p: FromScratchSigma(n, t) for p in range(n)}
+        system = System(
+            processes,
+            pattern,
+            history=lambda p, t_: None,  # no failure detector at all
+            seed=seed,
+            trace=trace,
+        )
+        result = system.run(
+            max_steps=max_steps,
+            stop_when=lambda s: s.correct_output_count(min_outputs),
+            extra_steps=extra_steps,
+        )
+        recorded = recorded_output_history(result)
+        check = check_sigma(recorded, pattern, horizon=recorded.horizon)
+        return BoostRunOutcome(
+            result=result,
+            recorded=recorded,
+            check=check,
+            metrics=collect_metrics(result),
+        )
+
+    return _observed("from_scratch_sigma", n, seed, go)

@@ -40,6 +40,7 @@ from repro.kernel.messages import (
     MessageBuffer,
 )
 from repro.kernel.scheduler import RandomFairScheduler, SchedulingPolicy
+from repro import obs as _obs
 
 
 class StepRecord(NamedTuple):
@@ -97,7 +98,7 @@ class RunResult:
     def __repr__(self) -> str:
         return (
             f"RunResult(steps={self.total_steps}, decisions={self.decisions}, "
-            f"stop={self.stop_reason!r})"
+            f"stop_reason={self.stop_reason!r})"
         )
 
 
@@ -299,6 +300,34 @@ class System:
         ``extra_steps`` lets eventual properties (detector completeness,
         post-decision quiescence) be observed past the stop condition.
         """
+        if not _obs._ENABLED:
+            return self._run_loop(max_steps, stop_when, extra_steps)
+        reg = _obs.metrics()
+        with _obs.tracer().span(
+            "kernel.run",
+            clock=lambda: self.time,
+            n=self.n,
+            trace=self.trace,
+            max_steps=max_steps,
+        ) as span:
+            start = self.time
+            result = self._run_loop(max_steps, stop_when, extra_steps)
+            steps = result.total_steps - start
+            span.set(stop_reason=result.stop_reason, steps=steps)
+            reg.inc("kernel.runs")
+            reg.inc("kernel.steps", steps)
+            reg.inc("kernel.messages_sent", self.buffer.sent_count)
+            reg.inc("kernel.messages_delivered", self.buffer.delivered_count)
+            return result
+
+    def _run_loop(
+        self,
+        max_steps: int,
+        stop_when: Optional[Callable[["System"], bool]] = None,
+        extra_steps: int = 0,
+    ) -> RunResult:
+        # The uninstrumented loop: ``run`` adds the per-run span around it
+        # when tracing is on; the per-step path is deliberately untouched.
         reason = "max_steps"
         budget = max_steps
         remaining_extra: Optional[int] = None

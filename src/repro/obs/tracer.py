@@ -1,0 +1,227 @@
+"""Deterministic span/event tracer.
+
+A :class:`Tracer` records a tree of *spans* (named, nested intervals) and
+typed *events*, clocked by whatever logical tick the instrumented layer
+owns — the live system's step counter, the extraction search's tick, a
+sweep's task index — never by wall-clock.  Wall-clock duration is recorded
+on spans as *metadata* (``wall_ms``), so two traces of the same seeded run
+are identical in every field except that one.
+
+Spans are emitted into the record list when they **close** (their ticks are
+only known then); ``sid`` is assigned at open in strictly increasing order,
+so the open order is always reconstructible.  Events are emitted
+immediately and also consume a ``sid``, giving one total order over all
+records.
+
+The module-level pattern for zero-overhead instrumentation lives in
+:mod:`repro.obs` (``obs._ENABLED`` flag + :data:`NULL_TRACER`): hot paths
+guard on the flag and never construct spans when tracing is off.  The
+:class:`NullTracer` exists so unguarded call sites still cost only a no-op
+method call.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Span:
+    """One open (then closed) named interval.
+
+    ``attrs`` may be amended while the span is open via :meth:`set`; the
+    record is written at close time.  ``tick_in``/``tick_out`` come from an
+    explicit ``tick=`` argument, the span's own ``clock`` callable, or the
+    tracer's ambient clock (innermost enclosing span with a clock), in that
+    order of preference.
+    """
+
+    __slots__ = ("sid", "parent", "name", "tick_in", "tick_out", "attrs",
+                 "_wall0", "_hwm")
+
+    def __init__(self, sid: int, parent: Optional[int], name: str,
+                 tick_in: int, attrs: Dict[str, Any]):
+        self.sid = sid
+        self.parent = parent
+        self.name = name
+        self.tick_in = tick_in
+        self.tick_out = tick_in
+        self.attrs = attrs
+        self._wall0 = time.perf_counter()
+        # High-water tick seen by closed children/events; clock-less spans
+        # close at this tick so they span their instrumented contents.
+        self._hwm = tick_in
+
+    def set(self, **attrs: Any) -> None:
+        """Amend the span's attributes before it closes."""
+        self.attrs.update(attrs)
+
+
+class _SpanContext:
+    """Context manager pairing one :class:`Span` with its tracer."""
+
+    __slots__ = ("_tracer", "_span", "_clock")
+
+    def __init__(self, tracer: "Tracer", span: Span,
+                 clock: Optional[Callable[[], int]]):
+        self._tracer = tracer
+        self._span = span
+        self._clock = clock
+
+    def __enter__(self) -> Span:
+        self._tracer._open(self._span, self._clock)
+        return self._span
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._tracer._close(self._span, self._clock)
+        return False
+
+
+class Tracer:
+    """Collects span/event records for one traced activity.
+
+    ``label`` names the trace as a whole (shown by ``repro trace``);
+    ``meta`` is free-form metadata carried into the export header.
+    """
+
+    def __init__(self, label: str = "trace", meta: Optional[Dict[str, Any]] = None):
+        self.label = label
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self.records: List[Dict[str, Any]] = []
+        self._stack: List[Span] = []
+        self._clocks: List[Callable[[], int]] = []
+        self._next_sid = 1
+
+    # -- clock ----------------------------------------------------------
+
+    def now(self) -> int:
+        """The ambient logical tick (0 when no enclosing span has a clock)."""
+        if self._clocks:
+            return self._clocks[-1]()
+        return 0
+
+    # -- spans ----------------------------------------------------------
+
+    def span(self, name: str, tick: Optional[int] = None,
+             clock: Optional[Callable[[], int]] = None,
+             **attrs: Any) -> _SpanContext:
+        """Open a span as a context manager.
+
+        ``clock`` installs a tick source for the span's duration (and for
+        everything nested in it that doesn't bring its own); ``tick`` pins
+        the opening tick explicitly.
+        """
+        sid = self._next_sid
+        self._next_sid += 1
+        parent = self._stack[-1].sid if self._stack else None
+        if tick is None:
+            tick = clock() if clock is not None else self.now()
+        return _SpanContext(self, Span(sid, parent, name, tick, attrs), clock)
+
+    def _open(self, span: Span, clock: Optional[Callable[[], int]]) -> None:
+        self._stack.append(span)
+        if clock is not None:
+            self._clocks.append(clock)
+
+    def _close(self, span: Span, clock: Optional[Callable[[], int]]) -> None:
+        if clock is not None:
+            tick_out = clock()
+            self._clocks.pop()
+        elif self._clocks:
+            tick_out = self._clocks[-1]()
+        else:
+            tick_out = span._hwm
+        self._stack.pop()
+        span.tick_out = max(span.tick_in, tick_out, span._hwm)
+        if self._stack:
+            parent = self._stack[-1]
+            if span.tick_out > parent._hwm:
+                parent._hwm = span.tick_out
+        self.records.append({
+            "type": "span",
+            "sid": span.sid,
+            "parent": span.parent,
+            "name": span.name,
+            "tick_in": span.tick_in,
+            "tick_out": span.tick_out,
+            "attrs": span.attrs,
+            # metadata only: the one nondeterministic field of a trace
+            "wall_ms": round((time.perf_counter() - span._wall0) * 1e3, 3),
+        })
+
+    # -- events ---------------------------------------------------------
+
+    def event(self, name: str, tick: Optional[int] = None, **attrs: Any) -> None:
+        """Record one point event, attached to the innermost open span."""
+        sid = self._next_sid
+        self._next_sid += 1
+        at = tick if tick is not None else self.now()
+        if self._stack and at > self._stack[-1]._hwm:
+            self._stack[-1]._hwm = at
+        self.records.append({
+            "type": "event",
+            "sid": sid,
+            "span": self._stack[-1].sid if self._stack else None,
+            "name": name,
+            "tick": at,
+            "attrs": attrs,
+        })
+
+    # -- introspection --------------------------------------------------
+
+    def spans(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r["type"] == "span"]
+
+    def events(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r["type"] == "event"]
+
+
+class _NullSpan:
+    """Shared no-op stand-in for :class:`Span`; also its own context."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Zero-overhead tracer: every operation is a no-op.
+
+    Installed while tracing is disabled so unguarded ``obs.tracer()`` call
+    sites stay safe; hot paths should still guard on ``obs._ENABLED`` and
+    skip the call entirely.
+    """
+
+    label = "null"
+    meta: Dict[str, Any] = {}
+    records: List[Dict[str, Any]] = []
+
+    def now(self) -> int:
+        return 0
+
+    def span(self, name: str, tick: Optional[int] = None,
+             clock: Optional[Callable[[], int]] = None,
+             **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, tick: Optional[int] = None, **attrs: Any) -> None:
+        return None
+
+    def spans(self) -> List[Dict[str, Any]]:
+        return []
+
+    def events(self) -> List[Dict[str, Any]]:
+        return []
+
+
+NULL_TRACER = NullTracer()

@@ -1,0 +1,59 @@
+"""Edge cases of collect_search_counters and its registry hand-off."""
+
+from repro import obs
+from repro.analysis.metrics import collect_search_counters
+
+
+class _Plain:
+    """A process with no search_counters method at all."""
+
+
+class _Counting:
+    def __init__(self, counters):
+        self._counters = counters
+
+    def search_counters(self):
+        return self._counters
+
+
+class TestCollect:
+    def test_no_counter_bearing_processes(self):
+        assert collect_search_counters([_Plain(), _Plain()]) is None
+
+    def test_empty_iterable(self):
+        assert collect_search_counters([]) is None
+
+    def test_all_empty_dicts_collapse_to_none(self):
+        procs = [_Counting({}), _Counting(None), _Plain()]
+        assert collect_search_counters(procs) is None
+
+    def test_overlapping_keys_are_summed(self):
+        procs = [
+            _Counting({"nodes": 3, "hits": 1}),
+            _Counting({"nodes": 4}),
+            _Plain(),
+        ]
+        assert collect_search_counters(procs) == {"nodes": 7, "hits": 1}
+
+    def test_mixed_empty_and_nonempty(self):
+        procs = [_Counting({}), _Counting({"nodes": 2})]
+        assert collect_search_counters(procs) == {"nodes": 2}
+
+
+class TestRegistryHandoff:
+    def test_absorbed_into_metrics_when_enabled(self):
+        obs.disable()
+        obs.reset_metrics()
+        try:
+            with obs.tracing("unit"):
+                collect_search_counters([_Counting({"nodes": 5})])
+                assert obs.metrics().counters() == {"search.nodes": 5}
+        finally:
+            obs.disable()
+            obs.reset_metrics()
+
+    def test_not_absorbed_when_disabled(self):
+        obs.disable()
+        obs.reset_metrics()
+        collect_search_counters([_Counting({"nodes": 5})])
+        assert obs.metrics().counters() == {}

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import obs
 from repro.harness.parallel import SweepTask, default_jobs, run_sweep
 
 
@@ -11,6 +12,15 @@ def _square(x):
 
 def _describe(label, seed):
     return f"{label}:{seed}"
+
+
+def _metered(x):
+    """Worker body that records metrics (top-level so it pickles)."""
+    reg = obs.metrics()
+    reg.inc("work.calls")
+    reg.inc("work.total", x)
+    reg.gauge("work.peak", x)
+    return x * x
 
 
 class TestSweepTask:
@@ -45,6 +55,41 @@ class TestRunSweep:
 
     def test_default_jobs_positive(self):
         assert default_jobs() >= 1
+
+
+class TestMetricsParity:
+    """Worker metrics merged across processes equal the inline registry."""
+
+    def _sweep_snapshot(self, jobs):
+        tasks = [SweepTask(_metered, {"x": x}) for x in range(8)]
+        obs.disable()
+        obs.reset_metrics()
+        try:
+            with obs.tracing("parity"):
+                results = run_sweep(tasks, jobs=jobs)
+                snapshot = obs.metrics().snapshot()
+        finally:
+            obs.disable()
+            obs.reset_metrics()
+        return results, snapshot
+
+    def test_jobs1_vs_jobs2_identical_metrics(self):
+        results1, snap1 = self._sweep_snapshot(jobs=1)
+        results2, snap2 = self._sweep_snapshot(jobs=2)
+        assert results1 == results2 == [x * x for x in range(8)]
+        assert snap1["counters"] == snap2["counters"]
+        assert snap1["gauges"] == snap2["gauges"]
+        assert snap1["counters"]["work.calls"] == 8
+        assert snap1["counters"]["work.total"] == sum(range(8))
+        assert snap1["counters"]["sweep.tasks"] == 8
+        assert snap1["gauges"]["work.peak"] == 7
+
+    def test_disabled_sweep_records_nothing(self):
+        obs.disable()
+        obs.reset_metrics()
+        tasks = [SweepTask(_metered, {"x": x}) for x in range(4)]
+        assert run_sweep(tasks, jobs=2) == [0, 1, 4, 9]
+        assert obs.metrics().counters() == {}
 
 
 class TestExperimentParity:

@@ -1,0 +1,14 @@
+"""Obs test fixtures: every test leaves tracing disabled and metrics clean."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    obs.disable()
+    obs.reset_metrics()
+    yield
+    obs.disable()
+    obs.reset_metrics()

@@ -1,0 +1,111 @@
+"""Oracle: tracing on and off must produce bit-identical runs.
+
+The tracer reads logical clocks and counts work but never draws from a
+run's RNG or touches scheduling, so the same (configuration, seed) must
+yield the exact same step trace with instrumentation enabled.
+"""
+
+import random
+import re
+
+from repro import obs
+from repro.consensus.quorum_mr import QuorumMR
+from repro.detectors import Omega, PairedDetector, Sigma
+from repro.harness.runner import (
+    random_binary_proposals,
+    random_pattern,
+    run_extraction,
+    run_nuc,
+)
+
+
+def _fingerprint(result):
+    """Everything deterministic about a full-trace run, repr-flattened."""
+    return {
+        "stop_reason": result.stop_reason,
+        "decisions": dict(result.decisions),
+        "decision_times": dict(result.decision_times),
+        "steps": result.step_count,
+        "final_time": result.final_time,
+        "messages": (result.messages_sent, result.messages_delivered),
+        # default object reprs embed memory addresses; mask them
+        "records": [
+            re.sub(r"0x[0-9a-f]+", "0x..", repr(s)) for s in result.steps
+        ],
+    }
+
+
+def _nuc_outcome():
+    rng = random.Random(7)
+    pattern = random_pattern(4, rng)
+    proposals = random_binary_proposals(4, rng)
+    return run_nuc(pattern, proposals, seed=7, trace="full")
+
+
+def _extraction_outcome():
+    rng = random.Random(3)
+    pattern = random_pattern(3, rng, max_faulty=1)
+    return run_extraction(
+        QuorumMR(),
+        PairedDetector(Omega(), Sigma("pivot")),
+        pattern,
+        seed=3,
+        trace="full",
+    )
+
+
+class TestBitIdentical:
+    def test_nuc_run_unchanged_by_tracing(self):
+        baseline = _nuc_outcome()
+        with obs.tracing("equiv") as tracer:
+            traced = _nuc_outcome()
+        assert _fingerprint(traced.result) == _fingerprint(baseline.result)
+        # and the trace actually observed the run
+        assert any(s["name"] == "kernel.run" for s in tracer.spans())
+        assert any(s["name"] == "runner.nuc" for s in tracer.spans())
+
+    def test_extraction_run_unchanged_by_tracing(self):
+        baseline = _extraction_outcome()
+        with obs.tracing("equiv") as tracer:
+            traced = _extraction_outcome()
+        assert _fingerprint(traced.result) == _fingerprint(baseline.result)
+        assert traced.search_counters == baseline.search_counters
+        assert traced.sigma_nu_check.ok == baseline.sigma_nu_check.ok
+        assert any(s["name"] == "extract.search_tick" for s in tracer.spans())
+
+    def test_tracing_twice_gives_identical_trace_ticks(self):
+        """Determinism of the trace itself: ticks and counters reproduce."""
+
+        def deterministic(records):
+            return [
+                (r["type"], r["name"], r.get("tick_in"), r.get("tick_out"),
+                 r.get("tick"))
+                for r in records
+            ]
+
+        with obs.tracing("a") as t1:
+            _nuc_outcome()
+        counters1 = dict(obs.metrics().counters())
+        with obs.tracing("b") as t2:
+            _nuc_outcome()
+        assert deterministic(t1.records) == deterministic(t2.records)
+        assert dict(obs.metrics().counters()) == counters1
+
+
+class TestMetricsContent:
+    def test_kernel_counters_recorded(self):
+        with obs.tracing("m"):
+            outcome = _nuc_outcome()
+        counters = obs.metrics().counters()
+        assert counters["kernel.runs"] == 1
+        assert counters["runner.nuc"] == 1
+        assert counters["kernel.steps"] == outcome.result.step_count
+        assert counters["kernel.messages_sent"] == outcome.result.messages_sent
+
+    def test_search_counters_absorbed_under_prefix(self):
+        with obs.tracing("m"):
+            outcome = _extraction_outcome()
+        counters = obs.metrics().counters()
+        assert outcome.search_counters  # the trie search publishes work
+        for key, value in outcome.search_counters.items():
+            assert counters[f"search.{key}"] == value

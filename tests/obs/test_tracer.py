@@ -1,0 +1,157 @@
+"""The span/event tracer: nesting, clocks, sid ordering, null tracer."""
+
+from repro import obs
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+class TestSpans:
+    def test_span_record_fields(self):
+        tracer = Tracer("t")
+        with tracer.span("work", tick=5, kind="unit") as span:
+            span.set(extra=1)
+        [record] = tracer.records
+        assert record["type"] == "span"
+        assert record["sid"] == 1
+        assert record["parent"] is None
+        assert record["name"] == "work"
+        assert record["tick_in"] == 5
+        assert record["tick_out"] == 5
+        assert record["attrs"] == {"kind": "unit", "extra": 1}
+        assert isinstance(record["wall_ms"], float)
+
+    def test_nesting_parent_links_and_close_order(self):
+        tracer = Tracer("t")
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.records
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert inner["parent"] == outer["sid"]
+        # sids are assigned at open: outer opened first
+        assert outer["sid"] < inner["sid"]
+
+    def test_clock_drives_ticks(self):
+        tracer = Tracer("t")
+        clock = iter([10, 17]).__next__
+        with tracer.span("run", clock=clock):
+            pass
+        [record] = tracer.records
+        assert (record["tick_in"], record["tick_out"]) == (10, 17)
+
+    def test_nested_span_inherits_ambient_clock(self):
+        tracer = Tracer("t")
+        ticks = iter([1, 2, 3, 4]).__next__
+        with tracer.span("outer", clock=ticks):
+            with tracer.span("inner"):
+                pass
+        inner = tracer.records[0]
+        assert inner["tick_in"] == 2
+        assert inner["tick_out"] == 3
+
+    def test_clockless_span_inherits_child_high_water(self):
+        tracer = Tracer("t")
+        with tracer.span("outer"):
+            with tracer.span("inner", clock=iter([3, 90]).__next__):
+                pass
+        inner, outer = tracer.records
+        assert inner["tick_out"] == 90
+        assert outer["tick_in"] == 0
+        assert outer["tick_out"] == 90
+
+    def test_tick_out_never_below_tick_in(self):
+        tracer = Tracer("t")
+        with tracer.span("run", clock=iter([9, 4]).__next__):
+            pass
+        [record] = tracer.records
+        assert record["tick_out"] == 9
+
+    def test_sibling_spans_do_not_leak_high_water(self):
+        tracer = Tracer("t")
+        with tracer.span("first", clock=iter([0, 50]).__next__):
+            pass
+        with tracer.span("second"):
+            pass
+        second = tracer.records[1]
+        assert (second["tick_in"], second["tick_out"]) == (0, 0)
+
+
+class TestEvents:
+    def test_event_attaches_to_open_span(self):
+        tracer = Tracer("t")
+        with tracer.span("outer", clock=iter([2, 5, 8]).__next__):
+            tracer.event("hit", value=42)
+        event, span = tracer.records
+        assert event["type"] == "event"
+        assert event["span"] == span["sid"]
+        assert event["tick"] == 5
+        assert event["attrs"] == {"value": 42}
+
+    def test_event_outside_any_span(self):
+        tracer = Tracer("t")
+        tracer.event("lonely", tick=3)
+        [event] = tracer.records
+        assert event["span"] is None
+        assert event["tick"] == 3
+
+    def test_sids_total_order_spans_and_events(self):
+        tracer = Tracer("t")
+        with tracer.span("a"):
+            tracer.event("e1")
+        tracer.event("e2")
+        sids = [r["sid"] for r in tracer.records]
+        assert sorted(sids) == [1, 2, 3]
+        assert len(set(sids)) == 3
+
+    def test_filters(self):
+        tracer = Tracer("t")
+        with tracer.span("a"):
+            tracer.event("e")
+        assert [r["name"] for r in tracer.spans()] == ["a"]
+        assert [r["name"] for r in tracer.events()] == ["e"]
+
+
+class TestNullTracer:
+    def test_all_operations_are_noops(self):
+        with NULL_TRACER.span("anything", tick=3, attr=1) as span:
+            span.set(more=2)
+        NULL_TRACER.event("thing")
+        assert NULL_TRACER.records == []
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.events() == []
+        assert NULL_TRACER.now() == 0
+
+
+class TestModuleState:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert obs.tracer() is NULL_TRACER
+
+    def test_enable_disable_roundtrip(self):
+        tracer = obs.enable("unit")
+        assert obs.enabled()
+        assert obs.tracer() is tracer
+        returned = obs.disable()
+        assert returned is tracer
+        assert not obs.enabled()
+        assert obs.tracer() is NULL_TRACER
+
+    def test_tracing_context_manager_always_disables(self):
+        try:
+            with obs.tracing("boom") as tracer:
+                assert obs.tracer() is tracer
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert not obs.enabled()
+
+    def test_enable_fresh_metrics_clears_registry(self):
+        obs.metrics().inc("stale")
+        obs.enable("unit")
+        assert obs.metrics().counters() == {}
+        obs.disable()
+
+    def test_enable_keep_metrics(self):
+        obs.metrics().inc("kept")
+        obs.enable("unit", fresh_metrics=False)
+        assert obs.metrics().counters() == {"kept": 1}
+        obs.disable()

@@ -88,6 +88,60 @@ class TestCommands:
         assert "Thm 5.4" in out and "ok" in out
 
 
+class TestTraceCommand:
+    def test_experiment_trace_roundtrip(self, capsys, tmp_path):
+        trace_file = tmp_path / "exp6.jsonl"
+        code = main(
+            ["experiment", "exp6", "--quick", "--trace-out", str(trace_file)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace:" in out
+        assert trace_file.exists()
+
+        code = main(["trace", str(trace_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "experiment:exp6" in out
+        assert "span aggregates" in out
+        # exp6 merges abstract runs (no live kernel), so its trace shows
+        # the sweep span plus automaton round counters
+        assert "exp.exp6" in out
+        assert "consensus.rounds.quorum-mr" in out
+
+    def test_extract_trace_roundtrip(self, capsys, tmp_path):
+        trace_file = tmp_path / "extract.jsonl"
+        code = main(
+            [
+                "extract",
+                "--n",
+                "3",
+                "--crash",
+                "2:15",
+                "--trace-out",
+                str(trace_file),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_file), "--no-timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "extract.quorum" in out
+
+    def test_trace_rejects_invalid_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span", "sid": 0}\n')
+        assert main(["trace", str(bad)]) == 1
+        assert "invalid" in capsys.readouterr().out
+
+    def test_tracing_left_disabled_after_command(self, tmp_path):
+        from repro import obs
+
+        trace_file = tmp_path / "t.jsonl"
+        main(["experiment", "exp6", "--quick", "--trace-out", str(trace_file)])
+        assert not obs.enabled()
+
+
 class TestReproduceCommand:
     def test_quick_report_covers_all_experiments(self, capsys, tmp_path):
         out_file = tmp_path / "report.txt"
