@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Runtime determinism smoke check: run an experiment twice, diff digests.
+
+Usage: PYTHONPATH=src python benchmarks/check_determinism.py
+           [--exp NAME] [--quick/--full] [--jobs N] [--verbose]
+
+The static pass (``python -m repro lint``) proves the *patterns* that break
+determinism are absent; this script is its dynamic counterpart.  It executes
+the chosen experiment sweep (EXP-3, the extraction pipeline, by default —
+the deepest consumer of replay, tries, and caching) twice in-process with
+identical parameters and compares SHA-256 digests of the rendered tables
+and of the merged obs counter registries.  Any divergence — ambient RNG,
+set-order leakage, cross-run cache contamination — fails with exit 1.
+
+With ``--jobs N`` (N > 1) the second run additionally exercises the
+parallel sweep driver, so the diff doubles as a serial-vs-parallel parity
+check.
+
+CI runs the quick parameterization; it completes in well under a minute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+
+QUICK_OVERRIDES = {
+    "exp1": dict(ns=(2, 3), seeds=(0,)),
+    "exp2": dict(ns=(2, 3), seeds=(0,)),
+    "exp3": dict(ns=(3,), seeds=(0,)),
+    "exp5": dict(seeds=(0,)),
+    "exp6": dict(seeds=range(3)),
+    "exp7": dict(ns=(2, 3), seeds=(0,)),
+    "exp9": dict(seeds=(0,)),
+}
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _canonical_counters(snapshot: dict) -> str:
+    """Registry snapshot as sorted (section, key, value) triples.
+
+    Key insertion order and zero-valued counters are presentation detail
+    (a worker that never increments a counter ships no delta for it), so
+    they are normalized away before hashing.
+    """
+    triples = []
+    for section, values in sorted(snapshot.items()):
+        if not isinstance(values, dict):
+            triples.append((section, "", repr(values)))
+            continue
+        for key, value in sorted(values.items()):
+            if section == "counters" and not value:
+                continue
+            triples.append((section, key, repr(value)))
+    return repr(triples)
+
+
+def run_once(exp: str, quick: bool, jobs: int) -> dict:
+    """One full experiment run; returns digests of everything observable."""
+    from repro import obs
+    from repro.detectors.base import clear_history_cache
+    from repro.harness import experiments
+
+    runner = getattr(experiments, f"{exp}_{_SUFFIXES[exp]}")
+    kwargs = dict(QUICK_OVERRIDES.get(exp, {})) if quick else {}
+    kwargs["jobs"] = jobs
+
+    # Fresh cross-run state: the point is to prove a rerun reproduces the
+    # first run from nothing but (parameters, seeds).
+    clear_history_cache()
+    obs.enable(label=f"determinism:{exp}", fresh_metrics=True)
+    try:
+        table = runner(**kwargs)
+    finally:
+        obs.disable()
+    rendered = table.render()
+    counters = _canonical_counters(obs.metrics().snapshot())
+    return {
+        "table": _digest(rendered),
+        "counters": _digest(counters),
+        "rendered": rendered,
+        "counters_text": counters,
+    }
+
+
+_SUFFIXES = {
+    "exp1": "nuc_sufficiency",
+    "exp2": "boosting",
+    "exp3": "extraction",
+    "exp4": "separation",
+    "exp5": "contamination",
+    "exp6": "merging",
+    "exp7": "scaling",
+    "exp8": "exhaustive",
+    "exp9": "registers",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Run an experiment sweep twice with identical seeds and fail "
+            "if the result digests differ (dynamic determinism check)."
+        ),
+        epilog=(
+            "Exit codes: 0 = digests identical, 1 = determinism violation, "
+            "2 = usage error.  The static counterpart is "
+            "'python -m repro lint' (see docs/linting.md)."
+        ),
+    )
+    parser.add_argument(
+        "--exp",
+        default="exp3",
+        choices=sorted(_SUFFIXES),
+        help="experiment sweep to run twice (default: exp3, extraction)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full parameterization (default: quick)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the SECOND run (first is always serial), "
+        "making the diff a serial-vs-parallel parity check (default 1)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print the rendered tables on mismatch",
+    )
+    args = parser.parse_args(argv)
+
+    quick = not args.full
+    print(
+        f"run 1/2: {args.exp} ({'quick' if quick else 'full'}, serial) ...",
+        flush=True,
+    )
+    first = run_once(args.exp, quick, jobs=1)
+    print(
+        f"run 2/2: {args.exp} ({'quick' if quick else 'full'}, "
+        f"jobs={args.jobs}) ...",
+        flush=True,
+    )
+    second = run_once(args.exp, quick, jobs=args.jobs)
+
+    ok = True
+    for key in ("table", "counters"):
+        match = first[key] == second[key]
+        print(
+            f"{key:8s}: {first[key][:16]} vs {second[key][:16]} "
+            f"[{'ok' if match else 'MISMATCH'}]"
+        )
+        ok = ok and match
+
+    if not ok:
+        print(
+            f"{args.exp} is not deterministic: rerun with the same seeds "
+            f"produced different results",
+            file=sys.stderr,
+        )
+        if args.verbose:
+            print("--- run 1 table ---\n" + first["rendered"])
+            print("--- run 2 table ---\n" + second["rendered"])
+            print("--- run 1 counters ---\n" + first["counters_text"])
+            print("--- run 2 counters ---\n" + second["counters_text"])
+        return 1
+    print(f"{args.exp} deterministic: identical table and counter digests")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

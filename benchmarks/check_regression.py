@@ -23,7 +23,13 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog=(
+            "Exit codes: 0 = within threshold, 1 = throughput regression, "
+            "2 = usage error.  Sweep wall times are informational only."
+        ),
+    )
     parser.add_argument("new", help="freshly generated BENCH_kernel.json")
     parser.add_argument(
         "--baseline",

@@ -16,7 +16,13 @@ from repro.obs.export import read_trace, validate_trace
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        epilog=(
+            "Exit codes: 0 = every trace valid, 1 = schema violations or "
+            "unreadable files, 2 = usage error."
+        ),
+    )
     parser.add_argument("traces", nargs="+", help="JSONL trace files to check")
     args = parser.parse_args(argv)
 

@@ -14,6 +14,8 @@ Commands
 ``reproduce``      run all nine experiments and print one combined report
 ``trace``          inspect a JSONL trace written by ``--trace-out``
                    (timeline, per-span aggregates, counter totals)
+``lint``           run the determinism & model-fidelity static analysis
+                   (rule catalog in docs/linting.md)
 
 Every command is a thin veneer over the public library API; the CLI exists
 so the reproduction can be poked without writing Python.
@@ -50,7 +52,8 @@ def _maybe_traced(args, label: str):
         count = write_trace(
             trace_out,
             tracer,
-            registry=obs.metrics(),
+            # Export-time read after obs.disable(); not a hot-path write.
+            registry=obs.metrics(),  # repro: noqa RPR301 -- trace export runs once, after tracing ends
             meta={"command": label, "environment": environment_stamp()},
         )
         print(f"(trace: {count} records -> {trace_out})")
@@ -260,6 +263,12 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.cli import cmd_lint as run
+
+    return run(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -396,6 +405,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="render even if schema validation fails",
     )
     trace.set_defaults(func=cmd_trace)
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & model-fidelity static analysis (RPR rules)",
+    )
+    from repro.lint.cli import add_arguments as add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

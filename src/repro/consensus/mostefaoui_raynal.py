@@ -176,7 +176,10 @@ class LeaderQuorumConsensus(Automaton):
                 return False
             reports = state.received(REP, state.round)
             values = {reports[q] for q in collected}
-            proposal = values.pop() if len(values) == 1 else UNKNOWN
+            if len(values) == 1:
+                (proposal,) = values
+            else:
+                proposal = UNKNOWN
             state.phase = PROP
             self._broadcast(state, sends, (PROP, state.round, proposal))
             return True

@@ -211,7 +211,10 @@ class AnucProcess(Process):
                 if quorum and quorum <= set(reports):
                     break
             values = {reports[q].payload[2] for q in quorum}
-            proposal = values.pop() if len(values) == 1 else UNKNOWN
+            if len(values) == 1:
+                (proposal,) = values
+            else:
+                proposal = UNKNOWN
             ctx.send_to_all((PROP, state.k, proposal, snapshot_history(history)))
 
             # Phase 3 (lines 25-28): collect proposals from a quorum none of

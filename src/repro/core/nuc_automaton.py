@@ -181,7 +181,10 @@ class AnucAutomaton(Automaton):
         if not quorum or not quorum <= set(reports):
             return
         values = {reports[q][2] for q in quorum}
-        proposal = values.pop() if len(values) == 1 else UNKNOWN
+        if len(values) == 1:
+            (proposal,) = values
+        else:
+            proposal = UNKNOWN
         state.phase = _PHASE_PROP
         self._broadcast(
             state,

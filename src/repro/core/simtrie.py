@@ -172,7 +172,7 @@ class DigestCache:
         self.misses = 0
 
     def lookup(self, state: Any, automaton: Automaton) -> str:
-        key = id(state)
+        key = id(state)  # repro: noqa RPR104 -- identity memo over pinned states; ids never ordered or persisted
         got = self._byid.get(key)
         if got is not None:
             self.hits += 1
@@ -625,7 +625,7 @@ class IncrementalExtractionEngine:
         builder = self._chains.get(subset)
         if builder is None:
             builder = self._chains[subset] = BalancedChainBuilder()
-        builder.extend_grouped({pid: by_pid[pid] for pid in subset})
+        builder.extend_grouped({pid: by_pid[pid] for pid in sorted(subset)})
         return builder.chain()
 
     def find_deciding_schedule(
@@ -686,7 +686,7 @@ class IncrementalExtractionEngine:
             builder = self._chains.get(subset)
             if builder is None:
                 builder = self._chains[subset] = BalancedChainBuilder()
-            builder.extend_grouped({pid: by_pid[pid] for pid in subset})
+            builder.extend_grouped({pid: by_pid[pid] for pid in sorted(subset)})
             chain = builder.chain()
             # The chain may have skipped every target sample (all landed
             # incomparable); without a target step it cannot decide.

@@ -109,7 +109,7 @@ def check_omega(
             f"horizon: {finals}"
         )
         return result
-    leader = leaders.pop()
+    (leader,) = leaders
     if leader not in pattern.correct:
         result.ok = False
         result.violations.append(
@@ -264,9 +264,10 @@ def check_sigma_nu_plus(
     for p in pattern.correct:
         for _, q in per_process.get(p, []):
             correct_quorums.add(q)
+    # Sort so the violation report (first offending pair) is deterministic.
     for p, segs in per_process.items():
         for t, q in segs:
-            for cq in correct_quorums:
+            for cq in sorted(correct_quorums, key=sorted):
                 if not q & cq and not q <= pattern.faulty:
                     result.ok = False
                     result.violations.append(

@@ -18,6 +18,7 @@ round estimate reads the step log).
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.analysis.stats import rate, summarize
@@ -653,9 +654,13 @@ def exp9_registers(
         "EXP-9: quorum registers — Sigma atomic, Sigma^nu contaminable",
         ["arm", "seed", "operations", "atomic", "note"],
     )
-    # Inline-only "sweep": the span mirrors what _sweep adds elsewhere
-    # (the null tracer makes this a no-op while tracing is off).
-    with _obs.tracer().span("exp.exp9", seeds=len(seeds)):
+    # Inline-only "sweep": the span mirrors what _sweep adds elsewhere,
+    # guarded like every other instrumentation site.
+    with (
+        _obs.tracer().span("exp.exp9", seeds=len(seeds))
+        if _obs._ENABLED
+        else nullcontext()
+    ):
         for seed in seeds:
             rng = _random.Random(f"exp9/{seed}")
             n = 4

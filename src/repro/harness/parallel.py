@@ -58,9 +58,9 @@ def _execute_metered(task: SweepTask) -> Tuple[Any, Dict[str, Any]]:
     in task order reproduces exactly the registry an inline (``jobs=1``)
     sweep would have built.
     """
-    before = _obs.metrics().snapshot()
+    before = _obs.metrics().snapshot()  # repro: noqa RPR301 -- only dispatched from the _ENABLED branch of run_sweep
     result = task.run()
-    return result, _obs.metrics().delta_since(before)
+    return result, _obs.metrics().delta_since(before)  # repro: noqa RPR301 -- same: worker inherited enabled obs by fork
 
 
 def default_jobs() -> int:

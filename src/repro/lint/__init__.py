@@ -1,0 +1,57 @@
+"""``repro.lint`` — determinism & model-fidelity static analysis.
+
+Every load-bearing feature of this reproduction — prefix replay in the
+simulation trie, byte-identical ``--jobs N`` sweeps, the traced-vs-untraced
+oracle tests, the LRU history cache — is sound only because the codebase
+follows the determinism discipline of the paper's step/schedule/run
+formalism: seeded RNGs only, no wall clock in the kernel, ordered iteration
+over unordered containers, pure automata, guarded instrumentation.  This
+package makes those unwritten rules *checkable*.
+
+Rule codes
+----------
+
+``RPR1xx``
+    Determinism: unseeded randomness, wall-clock/environment reads,
+    unordered iteration, identity-based ordering, float equality.
+``RPR2xx``
+    Model fidelity: automaton purity, detector cacheability contracts,
+    ``copy_state`` completeness.
+``RPR3xx``
+    Observability hygiene: instrumentation guarded by the ``_ENABLED``
+    module flag.
+
+Usage
+-----
+
+``python -m repro lint [PATHS] [--format json] [--baseline FILE] [--strict]``
+
+or programmatically::
+
+    from repro.lint import run_lint
+    result = run_lint(["src"])
+    for finding in result.findings:
+        print(finding.render())
+
+Inline suppressions use ``# repro: noqa RPR103 -- <reason>`` on the
+offending line; grandfathered findings live in a committed baseline file
+(see :mod:`repro.lint.baseline`).  The full rule catalog (with rationale)
+is in ``docs/linting.md``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules, get_rule, register
+from repro.lint.engine import LintResult, lint_source, run_lint
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_source",
+    "register",
+    "run_lint",
+]

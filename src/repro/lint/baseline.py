@@ -1,0 +1,95 @@
+"""Committed baselines for grandfathered findings.
+
+A baseline is a JSON file listing findings that existed when the linter was
+introduced (or when a rule was added) and are temporarily tolerated.  Each
+entry carries the line-number-free fingerprint of one finding, so the
+baseline survives unrelated edits; a fixed finding leaves a *stale* entry
+behind, which ``--strict`` turns into an error so baselines only shrink.
+
+The policy (docs/linting.md): new code never gets baselined — intentional
+exemptions use an inline ``# repro: noqa`` with a reason.  The repository
+ships an empty ``lint-baseline.json`` to keep the mechanism exercised.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Set, Tuple
+
+from repro.lint.findings import Finding
+
+SCHEMA = "repro-lint-baseline/1"
+
+
+@dataclass
+class Baseline:
+    """An in-memory baseline: fingerprints of tolerated findings."""
+
+    entries: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def fingerprints(self) -> Set[str]:
+        return {entry["fingerprint"] for entry in self.entries}
+
+    # -- persistence -------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path) as fh:
+            data = json.load(fh)
+        if data.get("schema") != SCHEMA:
+            raise ValueError(
+                f"{path}: unsupported baseline schema {data.get('schema')!r} "
+                f"(expected {SCHEMA!r})"
+            )
+        entries = data.get("entries", [])
+        for entry in entries:
+            if "fingerprint" not in entry or "code" not in entry:
+                raise ValueError(
+                    f"{path}: baseline entries need 'fingerprint' and 'code'"
+                )
+        return cls(entries=list(entries))
+
+    def save(self, path: str) -> None:
+        payload = {"schema": SCHEMA, "entries": self.entries}
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries = [
+            {
+                "code": f.code,
+                "path": f.path,
+                "module": f.module,
+                "snippet": f.snippet,
+                "fingerprint": f.fingerprint,
+            }
+            for f in findings
+        ]
+        entries.sort(key=lambda e: (e["path"], e["code"], e["fingerprint"]))
+        return cls(entries=entries)
+
+    # -- matching ----------------------------------------------------------
+
+    def apply(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Dict[str, Any]]]:
+        """Mark baselined findings; return (fresh_findings, stale_entries)."""
+        matched: Set[str] = set()
+        fresh: List[Finding] = []
+        known = self.fingerprints
+        for finding in findings:
+            if finding.fingerprint in known:
+                finding.baselined = True
+                matched.add(finding.fingerprint)
+            else:
+                fresh.append(finding)
+        stale = [
+            entry
+            for entry in self.entries
+            if entry["fingerprint"] not in matched
+        ]
+        return fresh, stale

@@ -1,0 +1,112 @@
+"""The ``python -m repro lint`` subcommand.
+
+Exit codes: 0 clean, 1 findings (plus, under ``--strict``, stale baseline
+entries or reason-less suppressions), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import run_lint
+from repro.lint.registry import all_rules
+from repro.lint.reporters import render_json, render_text
+
+
+def add_arguments(parser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="stdout report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file of grandfathered findings (repro-lint-baseline/1)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings as a new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="additionally fail on stale baseline entries and "
+        "reason-less noqa comments",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="list suppressed findings and their reasons",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def cmd_lint(args) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            scope = (
+                "everywhere"
+                if rule.scope is None
+                else ", ".join(rule.scope)
+            )
+            print(f"{rule.code} {rule.name} [{scope}]")
+            print(f"    {rule.summary}")
+        return 0
+
+    baseline: Optional[Baseline] = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        result = run_lint(args.paths, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        new_baseline = Baseline.from_findings(result.findings)
+        new_baseline.save(args.write_baseline)
+        print(
+            f"wrote {len(new_baseline.entries)} entries to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(render_json(result))
+
+    if args.format == "json":
+        sys.stdout.write(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+
+    return result.exit_code(strict=args.strict)

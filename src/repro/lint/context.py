@@ -1,0 +1,150 @@
+"""Per-file analysis context shared by every rule.
+
+One :class:`FileContext` wraps one parsed source file: the AST (with parent
+links, computed once), the raw lines, the dotted module name derived from
+the path, and small shared helpers (import-alias tables, lexical guard
+queries) that several rules need.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.findings import Finding
+
+
+def module_name_for_path(path: str) -> str:
+    """Best-effort dotted module name for ``path``.
+
+    Uses the last ``repro``, ``tests`` or ``benchmarks`` component as the
+    package root, so both ``src/repro/kernel/system.py`` and an unpacked
+    ``.../repro/kernel/fixture.py`` map into ``repro.kernel.*`` and
+    package-scoped rules fire consistently.
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    root = None
+    for anchor in ("repro", "tests", "benchmarks"):
+        if anchor in parts:
+            idx = len(parts) - 1 - parts[::-1].index(anchor)
+            candidate = parts[idx:]
+            if root is None or len(candidate) > len(root):
+                root = candidate
+    dotted = root if root is not None else parts[-1:]
+    if dotted and dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(part for part in dotted if part) or "<unknown>"
+
+
+class FileContext:
+    """Everything a rule needs to inspect one file."""
+
+    def __init__(self, path: str, source: str, module: Optional[str] = None):
+        self.path = path
+        self.source = source
+        self.module = module or module_name_for_path(path)
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self._parents: Dict[int, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+
+    # -- tree navigation --------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    # -- imports ----------------------------------------------------------
+
+    def module_aliases(self, target: str) -> Set[str]:
+        """Local names bound to module ``target`` (e.g. ``{"random", "rnd"}``
+        for ``import random as rnd`` / ``import random``), including
+        ``from <pkg> import <leaf> [as alias]`` forms."""
+        names: Set[str] = set()
+        pkg, _, leaf = target.rpartition(".")
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    if item.name == target:
+                        names.add(item.asname or item.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                if pkg and node.module == pkg:
+                    for item in node.names:
+                        if item.name == leaf:
+                            names.add(item.asname or item.name)
+        return names
+
+    def imported_names(self, module: str) -> Dict[str, str]:
+        """``{local_name: original_name}`` for ``from module import ...``."""
+        out: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and not node.level
+                and node.module == module
+            ):
+                for item in node.names:
+                    out[item.asname or item.name] = item.name
+        return out
+
+    # -- findings ----------------------------------------------------------
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def make_finding(self, rule, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            code=rule.code,
+            path=self.path,
+            module=self.module,
+            line=lineno,
+            col=col,
+            message=message,
+            rule_name=rule.name,
+            snippet=self.line_text(lineno),
+        )
+
+
+def top_level_names(tree: ast.Module) -> Set[str]:
+    """Names assigned at module level (candidates for global-state rules)."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            names.add(node.target.id)
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            names.add(node.target.id)
+    return names

@@ -1,0 +1,142 @@
+"""Lint engine: file collection, rule execution, suppression & baseline.
+
+The engine parses each file once, hands the shared :class:`FileContext` to
+every rule whose scope covers the file's module, then applies inline
+``# repro: noqa`` suppressions and the optional baseline.  Everything is
+pure and deterministic: files are visited in sorted order and findings are
+sorted by (path, line, col, code).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.baseline import Baseline
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, assign_occurrences
+from repro.lint.noqa import Suppression, parse_suppressions, suppression_for
+from repro.lint.registry import all_rules
+
+#: Directory names never descended into.
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "results", ".github"}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    findings: List[Finding] = field(default_factory=list)  # actionable
+    suppressed: List[Tuple[Finding, Suppression]] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[dict] = field(default_factory=list)
+    unreasoned_noqa: List[Suppression] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.findings or self.parse_errors:
+            return 1
+        if strict and (self.stale_baseline or self.unreasoned_noqa):
+            return 1
+        return 0
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        """Every finding including suppressed/baselined (for reporting)."""
+        out = list(self.findings)
+        out.extend(f for f, _ in self.suppressed)
+        out.extend(self.baselined)
+        out.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        return out
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in SKIP_DIRS
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(dirpath, name))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(dict.fromkeys(out))
+
+
+def _raw_findings(ctx: FileContext) -> List[Finding]:
+    found: List[Finding] = []
+    for rule in all_rules():
+        if rule.applies_to(ctx.module):
+            found.extend(rule.check(ctx))
+    found.sort(key=lambda f: (f.line, f.col, f.code))
+    return found
+
+
+def lint_source(
+    source: str, path: str = "<string>", module: Optional[str] = None
+) -> List[Finding]:
+    """Lint one source string; returns post-suppression findings.
+
+    The fixture-driven rule tests build on this: no filesystem involved.
+    """
+    ctx = FileContext(path, source, module=module)
+    findings = _raw_findings(ctx)
+    suppressions = parse_suppressions(ctx.lines)
+    kept = []
+    for finding in findings:
+        hit = suppression_for(suppressions, finding.line, finding.code)
+        if hit is None:
+            kept.append(finding)
+        else:
+            finding.suppressed = True
+    return kept
+
+
+def run_lint(
+    paths: Sequence[str],
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint files/directories and fold in suppressions and the baseline."""
+    result = LintResult()
+    kept: List[Finding] = []
+    for path in collect_files(paths):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+            ctx = FileContext(path, source)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            result.parse_errors.append(f"{path}: {exc}")
+            continue
+        result.files_checked += 1
+        findings = _raw_findings(ctx)
+        suppressions = parse_suppressions(ctx.lines)
+        used_lines = set()
+        for finding in findings:
+            hit = suppression_for(suppressions, finding.line, finding.code)
+            if hit is None:
+                kept.append(finding)
+            else:
+                finding.suppressed = True
+                used_lines.add(hit.line)
+                result.suppressed.append((finding, hit))
+        for line in sorted(used_lines):
+            if not suppressions[line].reason:
+                result.unreasoned_noqa.append(suppressions[line])
+
+    assign_occurrences(kept)
+    if baseline is not None:
+        fresh, stale = baseline.apply(kept)
+        result.baselined = [f for f in kept if f.baselined]
+        result.stale_baseline = stale
+        kept = fresh
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    result.findings = kept
+    return result

@@ -1,0 +1,70 @@
+"""Finding records and stable fingerprints.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+*fingerprint* intentionally excludes the line number: baselines must survive
+unrelated edits that shift code up or down, so the fingerprint hashes the
+module, the rule code, the normalized text of the offending line, and an
+occurrence index (for several identical lines in one module).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str  # e.g. "RPR103"
+    path: str  # file path as given to the engine
+    module: str  # dotted module name ("repro.kernel.system")
+    line: int  # 1-based line of the offending node
+    col: int  # 0-based column of the offending node
+    message: str  # human-readable description
+    rule_name: str = ""  # short rule slug ("unordered-iteration")
+    snippet: str = ""  # stripped source text of the offending line
+    occurrence: int = 0  # index among identical (module, code, snippet)
+    suppressed: bool = False  # matched an inline ``# repro: noqa``
+    baselined: bool = False  # matched a baseline entry
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by baseline matching."""
+        basis = "\x1f".join(
+            (self.module, self.code, self.snippet, str(self.occurrence))
+        )
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+        if self.snippet:
+            text += f"\n    {self.snippet}"
+        return text
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "rule": self.rule_name,
+            "path": self.path,
+            "module": self.module,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+
+def assign_occurrences(findings) -> None:
+    """Number findings that share (module, code, snippet) so their
+    fingerprints stay distinct and stable under reordering."""
+    seen: Dict[Any, int] = {}
+    for finding in findings:
+        key = (finding.module, finding.code, finding.snippet)
+        finding.occurrence = seen.get(key, 0)
+        seen[key] = finding.occurrence + 1

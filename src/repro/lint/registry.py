@@ -1,0 +1,103 @@
+"""Rule base class and the global rule registry.
+
+A rule is a class with a unique ``code`` (``RPRnnn``), a short ``name``
+slug, a one-line ``summary`` (the catalog entry), an optional package
+``scope`` (dotted-module prefixes the rule is confined to; ``None`` means
+every linted file), and a ``check(ctx)`` generator yielding
+:class:`~repro.lint.findings.Finding` objects.
+
+Register with the :func:`register` decorator::
+
+    @register
+    class NoWallClock(Rule):
+        code = "RPR102"
+        name = "wall-clock"
+        summary = "..."
+        scope = KERNEL_PACKAGES
+
+        def check(self, ctx):
+            ...
+
+Importing :mod:`repro.lint.rules` populates the registry.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from repro.lint.findings import Finding
+
+#: Packages where the step/schedule/run formalism demands full determinism:
+#: anything here executes inside (or feeds) replayed, cached, or merged runs.
+KERNEL_PACKAGES: Tuple[str, ...] = (
+    "repro.kernel",
+    "repro.core",
+    "repro.detectors",
+    "repro.consensus",
+)
+
+#: Everything shipped under ``repro.`` except the observability layer itself
+#: and this linter (neither executes on a replayed hot path).
+REPRO_PACKAGES: Tuple[str, ...] = ("repro",)
+
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    #: dotted-module prefixes this rule applies to; ``None`` = everywhere
+    scope: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, module: str) -> bool:
+        if self.scope is None:
+            return True
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.scope
+        )
+
+    def check(self, ctx) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # Helper: build a finding anchored at an AST node.
+    def finding(self, ctx, node, message: str) -> Finding:
+        return ctx.make_finding(self, node, message)
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    if not _CODE_RE.match(rule_cls.code or ""):
+        raise ValueError(
+            f"rule {rule_cls.__name__} has invalid code {rule_cls.code!r}"
+        )
+    if rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    _REGISTRY[rule_cls.code] = rule_cls()
+    return rule_cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package runs every @register decorator.
+    import repro.lint.rules  # noqa: F401  (import for side effect)
+
+
+def all_rules() -> List[Rule]:
+    _ensure_loaded()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    _ensure_loaded()
+    return _REGISTRY[code]
+
+
+def known_codes() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)

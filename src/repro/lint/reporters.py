@@ -1,0 +1,99 @@
+"""Text and JSON reporters for lint results.
+
+The JSON report carries a versioned ``schema`` marker (``repro-lint/1``)
+like the trace exporter, so CI artifacts stay parseable as the tool grows.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.lint.engine import LintResult
+
+JSON_SCHEMA = "repro-lint/1"
+
+
+def summarize(result: LintResult) -> Dict[str, Any]:
+    per_code: Dict[str, int] = {}
+    for finding in result.findings:
+        per_code[finding.code] = per_code.get(finding.code, 0) + 1
+    return {
+        "files_checked": result.files_checked,
+        "findings": len(result.findings),
+        "suppressed": len(result.suppressed),
+        "baselined": len(result.baselined),
+        "stale_baseline": len(result.stale_baseline),
+        "parse_errors": len(result.parse_errors),
+        "by_code": dict(sorted(per_code.items())),
+    }
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    for error in result.parse_errors:
+        lines.append(f"PARSE ERROR: {error}")
+    for entry in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry: {entry.get('path', '?')} "
+            f"{entry['code']} [{entry['fingerprint']}] — finding no longer "
+            f"exists; remove it from the baseline"
+        )
+    for supp in result.unreasoned_noqa:
+        lines.append(
+            f"noqa without reason at line {supp.line}: suppressions must "
+            f"say why (# repro: noqa RPRnnn -- reason)"
+        )
+    if verbose and result.suppressed:
+        lines.append("")
+        for finding, supp in result.suppressed:
+            reason = supp.reason or "(no reason)"
+            lines.append(
+                f"suppressed {finding.code} at {finding.path}:{finding.line} "
+                f"— {reason}"
+            )
+    summary = summarize(result)
+    lines.append("")
+    per_code = ", ".join(
+        f"{code}={count}" for code, count in summary["by_code"].items()
+    )
+    lines.append(
+        f"{summary['files_checked']} file(s) checked: "
+        f"{summary['findings']} finding(s)"
+        + (f" ({per_code})" if per_code else "")
+        + (
+            f", {summary['suppressed']} suppressed"
+            if summary["suppressed"]
+            else ""
+        )
+        + (
+            f", {summary['baselined']} baselined"
+            if summary["baselined"]
+            else ""
+        )
+    )
+    return "\n".join(lines)
+
+
+def report_json(result: LintResult) -> Dict[str, Any]:
+    return {
+        "schema": JSON_SCHEMA,
+        "summary": summarize(result),
+        "findings": [f.to_json() for f in result.findings],
+        "suppressed": [
+            {
+                "finding": finding.to_json(),
+                "reason": supp.reason,
+            }
+            for finding, supp in result.suppressed
+        ],
+        "baselined": [f.to_json() for f in result.baselined],
+        "stale_baseline": list(result.stale_baseline),
+        "parse_errors": list(result.parse_errors),
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(report_json(result), indent=2, sort_keys=True) + "\n"

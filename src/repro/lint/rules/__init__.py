@@ -1,0 +1,3 @@
+"""Rule modules; importing this package populates the registry."""
+
+from repro.lint.rules import determinism, fidelity, observability  # noqa: F401

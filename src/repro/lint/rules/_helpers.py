@@ -1,0 +1,159 @@
+"""Shared AST pattern helpers used by several rules."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+#: Annotation names that evidently denote unordered containers.
+SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+
+#: Builtins whose result does not depend on the argument's iteration order.
+ORDER_INSENSITIVE_CALLS = {
+    "sorted",
+    "set",
+    "frozenset",
+    "sum",
+    "len",
+    "min",
+    "max",
+    "any",
+    "all",
+}
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The leftmost Name of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The plain function name of a call, if the func is a bare Name."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def outer_annotation_name(node: Optional[ast.AST]) -> Optional[str]:
+    """The outermost constructor of an annotation (``List`` for
+    ``List[FrozenSet[int]]``) — type parameters must not leak out."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        match = re.match(r"[A-Za-z_][A-Za-z0-9_.]*", node.value.strip())
+        if match:
+            return match.group(0).rpartition(".")[2]
+    return None
+
+
+def is_set_annotation(node: Optional[ast.AST]) -> bool:
+    return outer_annotation_name(node) in SET_ANNOTATIONS
+
+
+def scopes(tree: ast.Module) -> Iterator[Tuple[ast.AST, list]]:
+    """Yield (scope_node, body) for the module and every function."""
+    yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def scope_walk(scope_node: ast.AST) -> Iterator[ast.AST]:
+    """Walk the nodes belonging to one scope.
+
+    Like ``ast.walk`` but does not descend into nested function/lambda
+    scopes (class bodies are traversed: methods surface as FunctionDef
+    nodes for the caller to recurse into as separate scopes)."""
+    todo = list(ast.iter_child_nodes(scope_node))
+    while todo:
+        node = todo.pop(0)
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        todo.extend(ast.iter_child_nodes(node))
+
+
+def class_fields(cls: ast.ClassDef) -> Dict[str, int]:
+    """Field names of a class, mapped to declaration order.
+
+    Dataclass-style annotated fields come from class-body ``AnnAssign``;
+    plain classes contribute their ``__init__`` parameters (minus ``self``)
+    and ``self.X = ...`` assignments.
+    """
+    fields: Dict[str, int] = {}
+
+    def add(name: str) -> None:
+        if name not in fields:
+            fields[name] = len(fields)
+
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if not isinstance(stmt.annotation, ast.Name) or stmt.annotation.id != "ClassVar":
+                add(stmt.target.id)
+        elif isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+            args = stmt.args
+            for arg in list(args.posonlyargs) + list(args.args)[1:] + list(args.kwonlyargs):
+                add(arg.arg)
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            add(target.attr)
+    return fields
+
+
+def guarded_by_enabled(ctx, node: ast.AST) -> bool:
+    """True when ``node`` is protected by an ``_ENABLED`` flag check.
+
+    Accepts either a lexically enclosing ``if``/``while``/conditional whose
+    test mentions ``_ENABLED``, or an earlier statement in the enclosing
+    function of the form ``if not <alias>._ENABLED: return/raise`` (the
+    early-bail idiom used by the instrumented hot paths).
+    """
+
+    def mentions_enabled(test: ast.AST) -> bool:
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Attribute) and sub.attr == "_ENABLED":
+                return True
+            if isinstance(sub, ast.Name) and sub.id == "_ENABLED":
+                return True
+        return False
+
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.If, ast.While, ast.IfExp)) and mentions_enabled(
+            ancestor.test
+        ):
+            return True
+        if isinstance(ancestor, ast.Assert) and mentions_enabled(ancestor.test):
+            return True
+
+    func = ctx.enclosing_function(node)
+    if func is None:
+        return False
+    lineno = getattr(node, "lineno", 0)
+    for stmt in func.body:
+        if getattr(stmt, "lineno", 10**9) >= lineno:
+            break
+        if isinstance(stmt, ast.If) and mentions_enabled(stmt.test):
+            bails = any(
+                isinstance(inner, (ast.Return, ast.Raise, ast.Continue))
+                for inner in stmt.body
+            )
+            if bails:
+                return True
+    return False

@@ -1,0 +1,434 @@
+"""RPR1xx — determinism rules.
+
+The step/schedule/run formalism (Section 2) makes a run a pure function of
+(initial configuration, schedule, detector history, seed).  Prefix replay,
+the LRU history cache, ``--jobs N`` parity and the traced/untraced oracle
+all assume exactly that.  These rules catch the syntactic patterns that
+break it: ambient randomness, wall-clock and environment reads, iteration
+order leaking out of unordered containers, identity-based ordering, and
+float equality in decision predicates.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.lint.findings import Finding
+from repro.lint.registry import KERNEL_PACKAGES, Rule, register
+from repro.lint.rules._helpers import (
+    ORDER_INSENSITIVE_CALLS,
+    call_name,
+    is_set_annotation,
+    scope_walk,
+    scopes,
+)
+
+#: Module-level ``random.*`` functions that consume the *global* RNG.
+GLOBAL_RANDOM_FNS = {
+    "betavariate",
+    "choice",
+    "choices",
+    "expovariate",
+    "gammavariate",
+    "gauss",
+    "getrandbits",
+    "lognormvariate",
+    "normalvariate",
+    "paretovariate",
+    "randbytes",
+    "randint",
+    "random",
+    "randrange",
+    "sample",
+    "seed",
+    "shuffle",
+    "triangular",
+    "uniform",
+    "vonmisesvariate",
+    "weibullvariate",
+}
+
+#: Importable names from ``random`` that are fine to use anywhere.
+SAFE_RANDOM_IMPORTS = {"Random", "SystemRandom"}
+
+WALL_CLOCK_TIME_FNS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+}
+
+OS_AMBIENT = {"environ", "getenv", "urandom", "getpid", "getrandom"}
+
+DATETIME_AMBIENT = {"now", "utcnow", "today"}
+
+
+@register
+class GlobalRandomRule(Rule):
+    """RPR101: the process-global ``random`` RNG is ambient state."""
+
+    code = "RPR101"
+    name = "global-random"
+    summary = (
+        "use of the module-global random RNG (random.random(), "
+        "random.choice(), unseeded random.Random(), from-imports of its "
+        "functions); draw from an explicitly seeded random.Random instead"
+    )
+    scope = None  # everywhere: tests and benchmarks must replay too
+
+    def check(self, ctx) -> Iterator[Finding]:
+        aliases = ctx.module_aliases("random")
+        from_imports = ctx.imported_names("random")
+        bad_from = {
+            local: original
+            for local, original in from_imports.items()
+            if original not in SAFE_RANDOM_IMPORTS
+        }
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for item in node.names:
+                    if item.name not in SAFE_RANDOM_IMPORTS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"'from random import {item.name}' binds a "
+                            f"global-RNG function; import random.Random and "
+                            f"seed it explicitly",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in aliases
+                ):
+                    if func.attr in GLOBAL_RANDOM_FNS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"random.{func.attr}() draws from the process-"
+                            f"global RNG; use a seeded random.Random "
+                            f"instance",
+                        )
+                    elif func.attr == "Random" and not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "random.Random() without a seed falls back to "
+                            "OS entropy; pass an explicit seed",
+                        )
+                elif isinstance(func, ast.Name) and func.id in bad_from:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{func.id}() is the global-RNG random."
+                        f"{bad_from[func.id]}; use a seeded random.Random",
+                    )
+
+
+@register
+class WallClockRule(Rule):
+    """RPR102: wall clock / environment reads in replayed packages."""
+
+    code = "RPR102"
+    name = "wall-clock"
+    summary = (
+        "wall-clock, PID, or environment reads (time.time, datetime.now, "
+        "os.environ, os.urandom, ...) inside the kernel-adjacent packages, "
+        "whose runs must be pure functions of (config, schedule, seed)"
+    )
+    scope = KERNEL_PACKAGES
+
+    def check(self, ctx) -> Iterator[Finding]:
+        time_aliases = ctx.module_aliases("time")
+        os_aliases = ctx.module_aliases("os")
+        datetime_mod_aliases = ctx.module_aliases("datetime")
+        datetime_classes = {
+            local
+            for local, original in ctx.imported_names("datetime").items()
+            if original in ("datetime", "date")
+        }
+        time_from = {
+            local: original
+            for local, original in ctx.imported_names("time").items()
+            if original in WALL_CLOCK_TIME_FNS
+        }
+        os_from = {
+            local: original
+            for local, original in ctx.imported_names("os").items()
+            if original in OS_AMBIENT
+        }
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                base = node.value
+                if isinstance(base, ast.Name):
+                    if base.id in time_aliases and node.attr in WALL_CLOCK_TIME_FNS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"time.{node.attr} reads the wall clock; kernel "
+                            f"time is the logical step counter",
+                        )
+                    elif base.id in os_aliases and node.attr in OS_AMBIENT:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"os.{node.attr} reads ambient process state; "
+                            f"runs must not depend on the environment",
+                        )
+                    elif (
+                        base.id in datetime_classes and node.attr in DATETIME_AMBIENT
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"datetime.{node.attr}() reads the wall clock",
+                        )
+                elif (
+                    isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id in datetime_mod_aliases
+                    and base.attr in ("datetime", "date")
+                    and node.attr in DATETIME_AMBIENT
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"datetime.{base.attr}.{node.attr}() reads the wall clock",
+                    )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in time_from:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"time.{time_from[node.id]} reads the wall clock",
+                    )
+                elif node.id in os_from:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"os.{os_from[node.id]} reads ambient process state",
+                    )
+
+
+class _SetBindings:
+    """Names evidently bound to set-typed values within one scope."""
+
+    def __init__(self) -> None:
+        self.set_like: Set[str] = set()
+        self.tainted: Set[str] = set()  # also bound to something non-set
+
+    def names(self) -> Set[str]:
+        return self.set_like - self.tainted
+
+
+def _is_evident_set(node: ast.AST, bound: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and call_name(node) in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in bound
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_evident_set(node.left, bound) or _is_evident_set(
+            node.right, bound
+        )
+    return False
+
+
+def _scope_set_bindings(scope_node: ast.AST) -> Set[str]:
+    bindings = _SetBindings()
+    if isinstance(scope_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        for arg in (
+            list(scope_node.args.posonlyargs)
+            + list(scope_node.args.args)
+            + list(scope_node.args.kwonlyargs)
+        ):
+            if is_set_annotation(arg.annotation):
+                bindings.set_like.add(arg.arg)
+    for node in scope_walk(scope_node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                if _is_evident_set(node.value, bindings.set_like):
+                    bindings.set_like.add(target.id)
+                else:
+                    bindings.tainted.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if is_set_annotation(node.annotation):
+                bindings.set_like.add(node.target.id)
+    return bindings.names()
+
+
+def _inside_order_insensitive_sink(ctx, comp: ast.AST) -> bool:
+    """A generator expression fed straight into sum()/sorted()/... is safe."""
+    parent = ctx.parent(comp)
+    return (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Name)
+        and parent.func.id in ORDER_INSENSITIVE_CALLS
+        and parent.args
+        and parent.args[0] is comp
+    )
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """RPR103: iteration order must never leak out of a set."""
+
+    code = "RPR103"
+    name = "unordered-iteration"
+    summary = (
+        "order-sensitive iteration over a bare set/frozenset (or bare "
+        ".keys()) without sorted(); set order varies with hash seeding and "
+        "insertion history, breaking replay and --jobs parity"
+    )
+    scope = KERNEL_PACKAGES
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for scope_node, _body in scopes(ctx.tree):
+            bound = _scope_set_bindings(scope_node)
+            for node in scope_walk(scope_node):
+                yield from self._check_node(ctx, node, bound)
+
+    def _check_node(self, ctx, node: ast.AST, bound: Set[str]) -> Iterator[Finding]:
+        if isinstance(node, ast.For) and _is_evident_set(node.iter, bound):
+            yield self.finding(
+                ctx,
+                node.iter,
+                "for-loop over a set; wrap the iterable in sorted() so the "
+                "visit order is deterministic",
+            )
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            if isinstance(node, ast.GeneratorExp) and _inside_order_insensitive_sink(
+                ctx, node
+            ):
+                return
+            for gen in node.generators:
+                if _is_evident_set(gen.iter, bound):
+                    yield self.finding(
+                        ctx,
+                        gen.iter,
+                        "comprehension over a set produces an order-"
+                        "dependent result; iterate sorted(...) instead",
+                    )
+        elif isinstance(node, ast.Call):
+            name = call_name(node)
+            if (
+                name in ("list", "tuple")
+                and len(node.args) == 1
+                and _is_evident_set(node.args[0], bound)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() over a set fixes an arbitrary order; use "
+                    f"sorted() instead",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "pop"
+                and not node.args
+                and _is_evident_set(node.func.value, bound)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "set.pop() removes an arbitrary element; use "
+                    "min()/max() or next(iter(sorted(...)))",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "keys"
+                and not node.args
+            ):
+                parent = ctx.parent(node)
+                iterated = (
+                    isinstance(parent, ast.For)
+                    and parent.iter is node
+                    or isinstance(parent, ast.comprehension)
+                    and parent.iter is node
+                )
+                if iterated:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "iterating bare .keys() signals set-like intent; "
+                        "iterate the dict directly (insertion-ordered) or "
+                        "sorted(d)",
+                    )
+
+
+@register
+class IdentityOrderingRule(Rule):
+    """RPR104: ``id()`` values depend on the allocator, not the model."""
+
+    code = "RPR104"
+    name = "identity-ordering"
+    summary = (
+        "id()-based ordering, keys, or hashing; object addresses vary "
+        "between runs and interpreters, so any order or key derived from "
+        "them is unreplayable"
+    )
+    scope = KERNEL_PACKAGES
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and call_name(node) == "id":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "id() exposes the allocator; derive ordering/keys from "
+                    "model data (pids, times, payloads) instead",
+                )
+
+
+@register
+class FloatEqualityRule(Rule):
+    """RPR105: float equality in decision/quorum predicates."""
+
+    code = "RPR105"
+    name = "float-equality"
+    summary = (
+        "== / != against a float (literal, float() cast, or true-division "
+        "result) inside the kernel-adjacent packages; decision and quorum "
+        "predicates must use integer arithmetic or explicit tolerances"
+    )
+    scope = KERNEL_PACKAGES
+
+    @staticmethod
+    def _evidently_float(node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if isinstance(node, ast.Call) and call_name(node) == "float":
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return True
+        return False
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._evidently_float(left) or self._evidently_float(right):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "float equality is representation-dependent; compare "
+                        "integers (e.g. 2*count >= n) or use an explicit "
+                        "tolerance",
+                    )
+                    break

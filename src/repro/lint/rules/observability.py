@@ -1,0 +1,75 @@
+"""RPR3xx — observability hygiene.
+
+PR 3's tracing layer is sound because every instrumentation site is guarded
+by the ``obs._ENABLED`` module flag: with tracing off the hot paths execute
+zero extra work, and the traced/untraced oracle tests prove bit-identical
+runs.  An unguarded ``obs.metrics()`` / ``obs.tracer()`` write erodes both
+properties one site at a time — this rule keeps the idiom mechanical.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.rules._helpers import guarded_by_enabled
+
+#: ``repro.obs`` entry points whose call sites must be guarded.
+OBS_ACCESSORS = {"metrics", "tracer"}
+
+
+@register
+class GuardedInstrumentationRule(Rule):
+    """RPR301: obs writes must sit behind the ``_ENABLED`` flag."""
+
+    code = "RPR301"
+    name = "guarded-instrumentation"
+    summary = (
+        "obs.metrics()/obs.tracer() call not guarded by the _ENABLED module "
+        "flag (enclosing `if <alias>._ENABLED:` or an early bail-out); "
+        "unguarded sites tax the hot path and can skew traced-vs-untraced "
+        "equivalence"
+    )
+    scope = None  # custom applies_to below
+
+    def applies_to(self, module: str) -> bool:
+        if not (module == "repro" or module.startswith("repro.")):
+            return False
+        # The obs package itself and the linter are not instrumented code.
+        return not module.startswith(("repro.obs", "repro.lint"))
+
+    def check(self, ctx) -> Iterator[Finding]:
+        aliases = ctx.module_aliases("repro.obs")
+        if not aliases:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute) and func.attr in OBS_ACCESSORS
+            ):
+                continue
+            base = func.value
+            is_obs = (
+                isinstance(base, ast.Name) and base.id in aliases
+            ) or (
+                isinstance(base, ast.Attribute)
+                and base.attr == "obs"
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "repro"
+            )
+            if not is_obs:
+                continue
+            if guarded_by_enabled(ctx, node):
+                continue
+            alias = base.id if isinstance(base, ast.Name) else "repro.obs"
+            yield self.finding(
+                ctx,
+                node,
+                f"unguarded {alias}.{func.attr}() instrumentation; wrap the "
+                f"site in `if {alias}._ENABLED:` (or bail out early) so "
+                f"untraced runs pay zero overhead",
+            )

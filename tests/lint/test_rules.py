@@ -1,0 +1,443 @@
+"""Per-rule positive/negative fixtures, driven through ``lint_source``.
+
+Every violating snippet lives inside a string literal so the repository's
+own lint run (which covers ``tests/``) never trips over this file.
+"""
+
+import textwrap
+
+from repro.lint import lint_source
+
+KERNEL = "repro.kernel.fixture"  # inside every package-scoped rule's scope
+TESTS = "tests.test_fixture"  # outside the kernel-adjacent packages
+
+
+def codes(source, module=KERNEL):
+    return [f.code for f in lint_source(textwrap.dedent(source), module=module)]
+
+
+class TestGlobalRandom:
+    def test_module_level_call_flagged(self):
+        src = """
+        import random
+        x = random.random()
+        """
+        assert codes(src) == ["RPR101"]
+
+    def test_from_import_flagged(self):
+        src = """
+        from random import choice
+        y = choice([1, 2])
+        """
+        # the import and the call are both flagged
+        assert codes(src) == ["RPR101", "RPR101"]
+
+    def test_unseeded_random_instance_flagged(self):
+        assert codes("import random\nrng = random.Random()\n") == ["RPR101"]
+
+    def test_seeded_instance_clean(self):
+        src = """
+        import random
+        rng = random.Random(7)
+        x = rng.random()
+        """
+        assert codes(src) == []
+
+    def test_random_class_import_clean(self):
+        assert codes("from random import Random\nrng = Random(3)\n") == []
+
+    def test_applies_everywhere(self):
+        src = "import random\nx = random.random()\n"
+        assert codes(src, module=TESTS) == ["RPR101"]
+
+    def test_aliased_module_flagged(self):
+        src = "import random as rnd\nx = rnd.shuffle([1])\n"
+        assert codes(src) == ["RPR101"]
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert codes("import time\nt = time.time()\n") == ["RPR102"]
+
+    def test_os_environ_flagged(self):
+        assert codes("import os\nv = os.environ['HOME']\n") == ["RPR102"]
+
+    def test_os_urandom_flagged(self):
+        assert codes("import os\nb = os.urandom(8)\n") == ["RPR102"]
+
+    def test_datetime_now_flagged(self):
+        src = """
+        from datetime import datetime
+        d = datetime.now()
+        """
+        assert codes(src) == ["RPR102"]
+
+    def test_datetime_module_chain_flagged(self):
+        src = """
+        import datetime
+        d = datetime.datetime.now()
+        """
+        assert codes(src) == ["RPR102"]
+
+    def test_from_import_of_clock_fn_flagged(self):
+        src = """
+        from time import perf_counter
+        t = perf_counter()
+        """
+        assert codes(src) == ["RPR102"]
+
+    def test_outside_kernel_packages_clean(self):
+        assert codes("import time\nt = time.time()\n", module=TESTS) == []
+
+    def test_os_path_clean(self):
+        assert codes("import os\np = os.path.join('a', 'b')\n") == []
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_literal_flagged(self):
+        src = """
+        def f():
+            for x in {3, 1, 2}:
+                pass
+        """
+        assert codes(src) == ["RPR103"]
+
+    def test_comprehension_over_set_call_flagged(self):
+        src = """
+        def f(items):
+            s = set(items)
+            return [x for x in s]
+        """
+        assert codes(src) == ["RPR103"]
+
+    def test_list_of_set_flagged(self):
+        src = """
+        def f(items):
+            s = frozenset(items)
+            return list(s)
+        """
+        assert codes(src) == ["RPR103"]
+
+    def test_set_pop_flagged(self):
+        src = """
+        def f(items):
+            s = set(items)
+            return s.pop()
+        """
+        assert codes(src) == ["RPR103"]
+
+    def test_bare_keys_iteration_flagged(self):
+        src = """
+        def f(d):
+            for k in d.keys():
+                pass
+        """
+        assert codes(src) == ["RPR103"]
+
+    def test_annotated_set_parameter_flagged(self):
+        src = """
+        from typing import Set
+
+        def f(pids: Set[int]):
+            return [p for p in pids]
+        """
+        assert codes(src) == ["RPR103"]
+
+    def test_sorted_iteration_clean(self):
+        src = """
+        def f(items):
+            s = set(items)
+            return [x for x in sorted(s)]
+        """
+        assert codes(src) == []
+
+    def test_order_insensitive_sink_clean(self):
+        src = """
+        def f(items):
+            s = set(items)
+            return sum(x for x in s), len(s), min(s)
+        """
+        assert codes(src) == []
+
+    def test_rebound_name_not_flagged(self):
+        # a name later rebound to a list is tainted, not evidently a set
+        src = """
+        def f(items):
+            s = set(items)
+            s = sorted(s)
+            return [x for x in s]
+        """
+        assert codes(src) == []
+
+    def test_outside_kernel_packages_clean(self):
+        src = """
+        def f():
+            for x in {3, 1, 2}:
+                pass
+        """
+        assert codes(src, module=TESTS) == []
+
+
+class TestIdentityOrdering:
+    def test_id_call_flagged(self):
+        src = """
+        def key(obj):
+            return id(obj)
+        """
+        assert codes(src) == ["RPR104"]
+
+    def test_outside_kernel_packages_clean(self):
+        assert codes("x = id(object())\n", module=TESTS) == []
+
+
+class TestFloatEquality:
+    def test_float_literal_equality_flagged(self):
+        src = """
+        def decided(ratio):
+            return ratio == 0.5
+        """
+        assert codes(src) == ["RPR105"]
+
+    def test_division_equality_flagged(self):
+        src = """
+        def quorum(count, n, half):
+            return count / n == half
+        """
+        assert codes(src) == ["RPR105"]
+
+    def test_float_cast_inequality_flagged(self):
+        src = """
+        def f(x, y):
+            return float(x) != y
+        """
+        assert codes(src) == ["RPR105"]
+
+    def test_integer_arithmetic_clean(self):
+        src = """
+        def quorum(count, n):
+            return 2 * count >= n
+        """
+        assert codes(src) == []
+
+    def test_int_equality_clean(self):
+        assert codes("def f(x):\n    return x == 1\n") == []
+
+    def test_float_ordering_clean(self):
+        # only == / != are representation traps; < and >= are judgement calls
+        assert codes("def f(x):\n    return x < 0.5\n") == []
+
+
+class TestAutomatonPurity:
+    def test_print_in_step_flagged(self):
+        src = """
+        class Leaky(Automaton):
+            def step(self, state, observation):
+                print(state)
+                return state
+        """
+        assert codes(src) == ["RPR201"]
+
+    def test_module_global_mutation_flagged(self):
+        src = """
+        SEEN = []
+
+        class Leaky(Automaton):
+            def step(self, state, observation):
+                SEEN.append(state)
+                return state
+        """
+        assert codes(src) == ["RPR201"]
+
+    def test_global_statement_flagged(self):
+        src = """
+        COUNT = 0
+
+        class Leaky(Automaton):
+            def step(self, state, observation):
+                global COUNT
+                COUNT += 1
+                return state
+        """
+        assert codes(src) == ["RPR201"]
+
+    def test_sys_stdout_flagged(self):
+        src = """
+        import sys
+
+        class Leaky(Automaton):
+            def step(self, state, observation):
+                sys.stdout.write("x")
+                return state
+        """
+        assert codes(src) == ["RPR201"]
+
+    def test_pure_step_clean(self):
+        src = """
+        class Pure(Automaton):
+            def step(self, state, observation):
+                return state.advance(observation)
+        """
+        assert codes(src) == []
+
+    def test_non_automaton_class_clean(self):
+        src = """
+        class Reporter:
+            def step(self, state):
+                print(state)
+        """
+        assert codes(src) == []
+
+    def test_transitive_subclass_flagged(self):
+        src = """
+        class Base(Automaton):
+            pass
+
+        class Leaf(Base):
+            def step(self, state, observation):
+                print(state)
+                return state
+        """
+        assert codes(src) == ["RPR201"]
+
+
+class TestDetectorCacheKey:
+    def test_unkeyable_attr_without_cache_key_flagged(self):
+        src = """
+        class Custom(FailureDetector):
+            def __init__(self, n):
+                self.n = n
+                self.history = []
+        """
+        assert codes(src, module="repro.detectors.custom") == ["RPR202"]
+
+    def test_cache_key_override_clean(self):
+        src = """
+        class Custom(FailureDetector):
+            def __init__(self, n):
+                self.history = []
+
+            def cache_key(self):
+                return None
+        """
+        assert codes(src, module="repro.detectors.custom") == []
+
+    def test_hashable_config_clean(self):
+        src = """
+        class Custom(FailureDetector):
+            def __init__(self, n, seed):
+                self.n = n
+                self.seed = seed
+        """
+        assert codes(src, module="repro.detectors.custom") == []
+
+
+class TestCopyStateCompleteness:
+    def test_missing_field_flagged(self):
+        src = """
+        class State:
+            def __init__(self, round_no, estimate):
+                self.round_no = round_no
+                self.estimate = estimate
+
+            def copy_state(self):
+                return State(round_no=self.round_no)
+        """
+        assert codes(src) == ["RPR203"]
+
+    def test_all_fields_clean(self):
+        src = """
+        class State:
+            def __init__(self, round_no, estimate):
+                self.round_no = round_no
+                self.estimate = estimate
+
+            def copy_state(self):
+                return State(round_no=self.round_no, estimate=self.estimate)
+        """
+        assert codes(src) == []
+
+    def test_kwargs_forwarding_clean(self):
+        src = """
+        class State:
+            def __init__(self, round_no, estimate):
+                self.round_no = round_no
+                self.estimate = estimate
+
+            def copy_state(self):
+                return State(**self.__dict__)
+        """
+        assert codes(src) == []
+
+
+class TestGuardedInstrumentation:
+    def test_unguarded_metrics_flagged(self):
+        src = """
+        from repro import obs
+
+        def step():
+            obs.metrics().inc("kernel.steps")
+        """
+        assert codes(src) == ["RPR301"]
+
+    def test_guard_by_if_clean(self):
+        src = """
+        from repro import obs
+
+        def step():
+            if obs._ENABLED:
+                obs.metrics().inc("kernel.steps")
+        """
+        assert codes(src) == []
+
+    def test_early_bailout_clean(self):
+        src = """
+        from repro import obs as _obs
+
+        def step():
+            if not _obs._ENABLED:
+                return
+            _obs.tracer().event("step")
+        """
+        assert codes(src) == []
+
+    def test_obs_package_itself_exempt(self):
+        src = """
+        from repro import obs
+
+        def flush():
+            obs.metrics().snapshot()
+        """
+        assert codes(src, module="repro.obs.export") == []
+
+    def test_outside_repro_clean(self):
+        src = """
+        from repro import obs
+
+        def report():
+            obs.metrics().snapshot()
+        """
+        assert codes(src, module=TESTS) == []
+
+
+class TestRegistry:
+    def test_all_nine_codes_registered(self):
+        from repro.lint.registry import all_rules
+
+        expected = {
+            "RPR101",
+            "RPR102",
+            "RPR103",
+            "RPR104",
+            "RPR105",
+            "RPR201",
+            "RPR202",
+            "RPR203",
+            "RPR301",
+        }
+        assert {rule.code for rule in all_rules()} == expected
+
+    def test_rules_sorted_by_code(self):
+        from repro.lint.registry import all_rules
+
+        rule_codes = [rule.code for rule in all_rules()]
+        assert rule_codes == sorted(rule_codes)
