@@ -2,7 +2,7 @@
 """Runtime determinism smoke check: run an experiment twice, diff digests.
 
 Usage: PYTHONPATH=src python benchmarks/check_determinism.py
-           [--exp NAME] [--quick/--full] [--jobs N] [--verbose]
+           [--exp NAME | --chaos] [--quick/--full] [--jobs N] [--verbose]
 
 The static pass (``python -m repro lint``) proves the *patterns* that break
 determinism are absent; this script is its dynamic counterpart.  It executes
@@ -87,6 +87,41 @@ def run_once(exp: str, quick: bool, jobs: int) -> dict:
     }
 
 
+#: The quick --chaos parameterization: three matrix rows covering all
+#: three run kinds (consensus liveness, consensus safety, register safety).
+CHAOS_QUICK_NAMES = ("omega-crashed", "split-quorums", "register-split")
+CHAOS_QUICK_BUDGET = 60_000
+
+
+def run_chaos_once(quick: bool, jobs: int) -> dict:
+    """One chaos-matrix run; returns digests of verdicts and counters."""
+    from repro import obs
+    from repro.chaos.matrix import run_matrix
+    from repro.detectors.base import clear_history_cache
+
+    names = CHAOS_QUICK_NAMES if quick else None
+    budget = CHAOS_QUICK_BUDGET if quick else None
+
+    clear_history_cache()
+    obs.enable(label="determinism:chaos", fresh_metrics=True)
+    try:
+        report = run_matrix(seed=0, budget=budget, jobs=jobs, names=names)
+    finally:
+        obs.disable()
+    rendered = "\n".join(
+        f"{v.config} ok={v.ok} found={sorted(v.found)} cases={v.cases} "
+        f"steps={v.steps} sample={v.sample!r}"
+        for v in report.verdicts
+    )
+    counters = _canonical_counters(obs.metrics().snapshot())
+    return {
+        "table": _digest(rendered),
+        "counters": _digest(counters),
+        "rendered": rendered,
+        "counters_text": counters,
+    }
+
+
 _SUFFIXES = {
     "exp1": "nuc_sufficiency",
     "exp2": "boosting",
@@ -136,20 +171,32 @@ def main(argv=None) -> int:
         action="store_true",
         help="print the rendered tables on mismatch",
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="diff the chaos fuzzing matrix instead of an experiment sweep "
+        "(quick: three rows, capped budget; full: the whole matrix)",
+    )
     args = parser.parse_args(argv)
 
     quick = not args.full
+    label = "chaos matrix" if args.chaos else args.exp
+    once = (
+        (lambda jobs: run_chaos_once(quick, jobs))
+        if args.chaos
+        else (lambda jobs: run_once(args.exp, quick, jobs))
+    )
     print(
-        f"run 1/2: {args.exp} ({'quick' if quick else 'full'}, serial) ...",
+        f"run 1/2: {label} ({'quick' if quick else 'full'}, serial) ...",
         flush=True,
     )
-    first = run_once(args.exp, quick, jobs=1)
+    first = once(1)
     print(
-        f"run 2/2: {args.exp} ({'quick' if quick else 'full'}, "
+        f"run 2/2: {label} ({'quick' if quick else 'full'}, "
         f"jobs={args.jobs}) ...",
         flush=True,
     )
-    second = run_once(args.exp, quick, jobs=args.jobs)
+    second = once(args.jobs)
 
     ok = True
     for key in ("table", "counters"):
@@ -162,7 +209,7 @@ def main(argv=None) -> int:
 
     if not ok:
         print(
-            f"{args.exp} is not deterministic: rerun with the same seeds "
+            f"{label} is not deterministic: rerun with the same seeds "
             f"produced different results",
             file=sys.stderr,
         )
@@ -172,7 +219,7 @@ def main(argv=None) -> int:
             print("--- run 1 counters ---\n" + first["counters_text"])
             print("--- run 2 counters ---\n" + second["counters_text"])
         return 1
-    print(f"{args.exp} deterministic: identical table and counter digests")
+    print(f"{label} deterministic: identical table and counter digests")
     return 0
 
 

@@ -8,8 +8,15 @@ mode.  Wall times of the experiment sweeps are reported but not gated —
 they run at quick parameterizations where noise swamps small shifts; the
 steps/sec micro-benchmark is the stable signal.
 
-CI runs this after regenerating the report so a kernel slowdown fails the
-build instead of silently landing.
+``--chaos`` switches to the *semantic* regression gate instead: it runs the
+quick chaos injection-matrix rows (see ``repro.chaos.matrix``) and fails if
+any row stops being exact — an injector no longer finds its declared
+violation, finds one outside its declared set, or an honest row stops
+exhausting clean.  No baseline file is involved; the matrix's expectations
+are the baseline.
+
+CI runs this after regenerating the report so a kernel slowdown (or a chaos
+matrix drift) fails the build instead of silently landing.
 """
 
 from __future__ import annotations
@@ -21,6 +28,47 @@ import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+#: The quick --chaos rows: one consensus-liveness, one consensus-safety and
+#: one register-safety injection, plus an honest control.
+CHAOS_QUICK_NAMES = (
+    "nuc-honest",
+    "omega-crashed",
+    "split-quorums",
+    "register-split",
+)
+CHAOS_QUICK_BUDGET = 60_000
+
+
+def check_chaos(seed: int, jobs: int) -> int:
+    """Run the quick matrix rows; exit 1 if any verdict is not exact."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.chaos.matrix import run_matrix
+
+    report = run_matrix(
+        seed=seed, budget=CHAOS_QUICK_BUDGET, jobs=jobs, names=CHAOS_QUICK_NAMES
+    )
+    failures = []
+    for verdict in report.verdicts:
+        found = ",".join(sorted(verdict.found)) or "-"
+        expected = ",".join(sorted(verdict.expected)) or "-"
+        status = "ok" if verdict.ok else "FAIL"
+        print(
+            f"chaos[{verdict.config}]: found {found}, expected {expected}, "
+            f"{verdict.cases} cases [{status}]"
+        )
+        if not verdict.ok:
+            failures.append(verdict.config)
+            if verdict.sample:
+                print(f"  sample: {verdict.sample}")
+    if failures:
+        print(
+            "chaos matrix regressed in: " + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    print("chaos matrix exact: every row matches its declared expectations")
+    return 0
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -30,7 +78,12 @@ def main(argv=None) -> int:
             "2 = usage error.  Sweep wall times are informational only."
         ),
     )
-    parser.add_argument("new", help="freshly generated BENCH_kernel.json")
+    parser.add_argument(
+        "new",
+        nargs="?",
+        default=None,
+        help="freshly generated BENCH_kernel.json (omit with --chaos)",
+    )
     parser.add_argument(
         "--baseline",
         default=os.path.join(REPO_ROOT, "BENCH_kernel.json"),
@@ -44,7 +97,32 @@ def main(argv=None) -> int:
         metavar="PCT",
         help="max allowed throughput drop in percent (default 25)",
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the quick chaos-matrix rows and fail on inexact verdicts "
+        "(semantic gate; ignores the benchmark report arguments)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="chaos matrix seed (only with --chaos, default 0)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel chaos matrix workers (only with --chaos, default 1)",
+    )
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        return check_chaos(args.seed, args.jobs)
+    if args.new is None:
+        parser.error("a fresh BENCH_kernel.json is required without --chaos")
 
     with open(args.baseline) as fh:
         baseline = json.load(fh)

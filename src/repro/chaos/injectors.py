@@ -1,0 +1,290 @@
+"""Detector fault injectors: break exactly one hypothesis at a time.
+
+Every injector is a :class:`~repro.detectors.base.FailureDetector` wrapping an
+honest inner detector, so it composes anywhere a detector does (inside
+:class:`~repro.detectors.paired.PairedDetector`, the runners, the register
+harness).  Each declares:
+
+* ``breaks`` — the paper hypothesis it violates, human-readable;
+* ``checker`` — the name of the detector property checker (see
+  :data:`HYPOTHESIS_CHECKERS`) that must *reject* its sampled histories while
+  accepting the honest inner detector's;
+* ``requires_faulty`` / ``min_correct`` — environment constraints under which
+  the lie is expressible.  On patterns outside its domain an injector falls
+  back to the honest inner history, so it is total (the fuzz-case generators
+  simply avoid sampling such patterns for injected configs).
+
+The injectors are deliberately *minimal* lies: everything the definition
+permits is kept honest, so a failed check isolates the single broken clause.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Optional
+
+from repro.detectors.base import (
+    FailureDetector,
+    FunctionalHistory,
+    History,
+    ScheduleHistory,
+)
+from repro.detectors.checkers import (
+    check_eventually_perfect,
+    check_omega,
+    check_sigma,
+    check_sigma_nu,
+    check_sigma_nu_plus,
+)
+from repro.detectors.omega import Omega
+from repro.detectors.perfect import EventuallyPerfect
+from repro.detectors.sigma_nu import SigmaNu
+from repro.detectors.sigma_nu_plus import SigmaNuPlus
+from repro.kernel.failures import FailurePattern
+
+#: Name -> detector hypothesis checker, the executable form of ``breaks``.
+HYPOTHESIS_CHECKERS = {
+    "omega": check_omega,
+    "sigma": check_sigma,
+    "sigma_nu": check_sigma_nu,
+    "sigma_nu_plus": check_sigma_nu_plus,
+    "eventually_perfect": check_eventually_perfect,
+}
+
+
+class FaultInjector(FailureDetector):
+    """Base class: an injector wraps an honest detector and perturbs it."""
+
+    #: The paper hypothesis this injector violates (prose).
+    breaks: str = "?"
+    #: Key into :data:`HYPOTHESIS_CHECKERS`; that checker must reject the
+    #: injected histories (on patterns inside the injector's domain).
+    checker: str = "?"
+    #: The lie is only expressible when the pattern has a faulty process.
+    requires_faulty: bool = False
+    #: Minimum number of correct processes the lie needs.
+    min_correct: int = 1
+
+    def __init__(self, inner: FailureDetector):
+        self.inner = inner
+        self.name = f"{type(self).__name__}({inner.name})"
+
+    def applicable(self, pattern: FailurePattern) -> bool:
+        """Whether the lie is expressible under ``pattern``."""
+        if self.requires_faulty and not pattern.faulty:
+            return False
+        return len(pattern.correct) >= self.min_correct
+
+    def sample_history(
+        self, pattern: FailurePattern, rng: random.Random
+    ) -> History:
+        if not self.applicable(pattern):
+            return self.inner.sample_history(pattern, rng)
+        return self._lie(pattern, rng)
+
+    def _lie(self, pattern: FailurePattern, rng: random.Random) -> History:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Omega injectors
+# ----------------------------------------------------------------------
+
+
+class NeverStabilizingOmega(FaultInjector):
+    """Omega whose leader rotates forever and never agrees across processes.
+
+    ``H(p, t) = (t // period + p) mod n`` — every process changes its mind
+    every ``period`` ticks and no two processes ever point at the same
+    process simultaneously (for ``n > 1``), so there is no time after which
+    a common correct leader is output.  Breaks only the *eventual* clause:
+    each individual output is a legal process id.
+    """
+
+    breaks = "Omega eventual leadership (no stabilization)"
+    checker = "omega"
+
+    def __init__(self, inner: Optional[FailureDetector] = None, period: int = 7):
+        super().__init__(inner if inner is not None else Omega())
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+
+    def _lie(self, pattern: FailurePattern, rng: random.Random) -> History:
+        n = pattern.n
+        period = self.period
+
+        def leader(p: int, t: int) -> int:
+            return (t // period + p) % n
+
+        return FunctionalHistory(leader)
+
+
+class CrashedLeaderOmega(FaultInjector):
+    """Omega that stabilizes immediately — on a *crashed* leader.
+
+    Every process outputs the lowest-id faulty process at every time: the
+    trust is perfectly stable and unanimous, violating only the requirement
+    that the eventual leader be correct.
+    """
+
+    breaks = "Omega leader correctness (elects a crashed process)"
+    checker = "omega"
+    requires_faulty = True
+
+    def __init__(self, inner: Optional[FailureDetector] = None):
+        super().__init__(inner if inner is not None else Omega())
+
+    def _lie(self, pattern: FailurePattern, rng: random.Random) -> History:
+        leader = min(pattern.faulty)
+        return ScheduleHistory(
+            {p: [(0, leader)] for p in pattern.processes}
+        )
+
+
+# ----------------------------------------------------------------------
+# Quorum injectors
+# ----------------------------------------------------------------------
+
+
+class SplitQuorums(FaultInjector):
+    """Quorums that stop intersecting at correct processes.
+
+    The correct set is split into two halves; every correct process outputs
+    its own half, forever.  Completeness (quorums eventually inside
+    ``correct(F)``) and self-inclusion still hold — only the intersection
+    property is broken, and only between the halves.  Faulty processes
+    output their own singleton (legal under Sigma^nu).
+
+    This is the executable t >= n/2 phenomenon of Theorem 7.1: with half
+    the processes allowed to crash, "my half" is exactly the quorum a
+    partitioned majority-style protocol would trust.
+    """
+
+    breaks = "Sigma^nu intersection at correct processes"
+    checker = "sigma_nu"
+    min_correct = 2
+
+    def __init__(self, inner: Optional[FailureDetector] = None):
+        super().__init__(inner if inner is not None else SigmaNu())
+
+    @staticmethod
+    def halves(pattern: FailurePattern):
+        """The two disjoint correct halves (sorted split of ``correct``)."""
+        correct = sorted(pattern.correct)
+        mid = (len(correct) + 1) // 2
+        return frozenset(correct[:mid]), frozenset(correct[mid:])
+
+    def _lie(self, pattern: FailurePattern, rng: random.Random) -> History:
+        half_a, half_b = self.halves(pattern)
+        breakpoints = {}
+        for p in pattern.processes:
+            if p in half_a:
+                quorum = half_a
+            elif p in half_b:
+                quorum = half_b
+            else:
+                quorum = frozenset([p])
+            breakpoints[p] = [(0, quorum)]
+        return ScheduleHistory(breakpoints)
+
+
+class TrustedUnionLiar(FaultInjector):
+    """Sigma^nu+ that lies about trusted unions (conditional nonintersection).
+
+    Correct processes honestly output ``{pivot, p}`` (pairwise intersecting
+    at the pivot, inside ``correct(F)``, self-including).  Every *faulty*
+    process outputs ``{p, confederate}`` where the confederate is a correct
+    non-pivot process: that quorum is disjoint from the pivot's own quorum
+    yet contains a correct process — exactly what Sigma^nu+'s conditional
+    nonintersection forbids ("a quorum missing a correct quorum trusts only
+    faulty processes").  Sigma^nu itself is untouched: correct quorums still
+    intersect and complete.
+
+    A_nuc's distrust machinery (Fig. 5 lines 51-53) is sound only *under*
+    conditional nonintersection, and the lie turns it against the pivot:
+    from a correct process's standpoint the faulty liar is not condemnable
+    (its quorum contains the correct confederate), so the liar counts as a
+    witness and the *pivot* — whose quorum the liar's misses — becomes
+    distrusted.  A correct process then distrusts a member of its own
+    quorum forever and A_nuc wedges in phase 3.  Safety survives (correct
+    quorums still share the pivot); the injection matrix asserts exactly a
+    termination violation — an executable witness that the Sigma^nu+
+    clauses are load-bearing for the Fig. 5 termination argument.
+    """
+
+    breaks = "Sigma^nu+ conditional nonintersection (trusted-union lie)"
+    checker = "sigma_nu_plus"
+    requires_faulty = True
+    min_correct = 2
+
+    def __init__(self, inner: Optional[FailureDetector] = None):
+        super().__init__(inner if inner is not None else SigmaNuPlus())
+
+    def _lie(self, pattern: FailurePattern, rng: random.Random) -> History:
+        correct = sorted(pattern.correct)
+        pivot, confederate = correct[0], correct[1]
+        breakpoints = {}
+        for p in pattern.processes:
+            if p in pattern.correct:
+                quorum = frozenset([pivot, p])
+            else:
+                quorum = frozenset([p, confederate])
+            breakpoints[p] = [(0, quorum)]
+        return ScheduleHistory(breakpoints)
+
+
+# ----------------------------------------------------------------------
+# <>P injectors (Chandra-Toueg baseline)
+# ----------------------------------------------------------------------
+
+
+class BlindSuspector(FaultInjector):
+    """<>P that never suspects anyone: strong completeness broken.
+
+    Every process outputs the empty suspect set at every time.  Eventual
+    accuracy holds vacuously; crashed processes are simply never noticed,
+    so a rotating-coordinator protocol blocks forever on a dead
+    coordinator's round.
+    """
+
+    breaks = "<>P strong completeness (crashed processes never suspected)"
+    checker = "eventually_perfect"
+    requires_faulty = True
+
+    def __init__(self, inner: Optional[FailureDetector] = None):
+        super().__init__(inner if inner is not None else EventuallyPerfect())
+
+    def _lie(self, pattern: FailurePattern, rng: random.Random) -> History:
+        empty: FrozenSet[int] = frozenset()
+        return ScheduleHistory({p: [(0, empty)] for p in pattern.processes})
+
+
+class ParanoidSuspector(FaultInjector):
+    """<>P that suspects everyone forever: eventual accuracy broken.
+
+    Every process outputs the full process set at every time.  Strong
+    completeness holds a fortiori; no coordinator is ever believed, so
+    every round is nacked and no decision is reached.
+    """
+
+    breaks = "<>P eventual accuracy (correct processes suspected forever)"
+    checker = "eventually_perfect"
+
+    def __init__(self, inner: Optional[FailureDetector] = None):
+        super().__init__(inner if inner is not None else EventuallyPerfect())
+
+    def _lie(self, pattern: FailurePattern, rng: random.Random) -> History:
+        everyone = frozenset(pattern.processes)
+        return ScheduleHistory({p: [(0, everyone)] for p in pattern.processes})
+
+
+#: Every shipped injector class, for tests and the matrix registry.
+ALL_INJECTORS = (
+    NeverStabilizingOmega,
+    CrashedLeaderOmega,
+    SplitQuorums,
+    TrustedUnionLiar,
+    BlindSuspector,
+    ParanoidSuspector,
+)

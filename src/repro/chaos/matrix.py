@@ -1,0 +1,443 @@
+"""The injection matrix: every injector flips exactly its declared property.
+
+Each :class:`~repro.chaos.fuzzer.ChaosConfig` row pairs a detector (honest
+or wrapped in one fault injector) with the algorithm whose paper hypothesis
+the injector attacks.  :func:`run_matrix` fuzzes every row and renders a
+verdict with two independent legs:
+
+1. **Hypothesis leg** — the injector's sampled histories must be *rejected*
+   by its declared detector-property checker while the honest inner
+   detector's histories are accepted (the lie breaks exactly the clause it
+   claims to break, nothing else).
+2. **Run leg** — fuzzing the injected config must find a violation of the
+   row's ``primary`` run property within budget, and every violation found
+   must lie inside the row's ``expected`` set.  Honest rows must exhaust
+   their budget with zero violations.
+
+The interesting diagonal entries:
+
+* ``split-quorums`` — :class:`~repro.chaos.injectors.SplitQuorums` against
+  the *naive* Sigma^nu algorithm is the executable t >= n/2 separation of
+  Theorem 7.1: non-intersecting correct quorums let the two halves decide
+  differently.
+* ``trusted-union-liar`` — breaks Sigma^nu+'s conditional nonintersection
+  and thereby turns A_nuc's own defense against it: the distrust rule
+  (Fig. 5 lines 51-53) is only sound *under* that hypothesis, so the lie
+  makes a correct process distrust the pivot inside its own quorum and
+  A_nuc wedges in phase 3.  Safety survives; termination falls — an
+  executable witness that the Sigma^nu+ clauses are load-bearing for
+  Theorem 6.27's termination argument.
+
+Rows are dispatched through :func:`repro.harness.parallel.run_sweep`, so
+``--jobs N`` fans the matrix out across processes; results are
+deterministic in ``seed`` regardless of ``jobs``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.fuzzer import ChaosConfig, FuzzReport, fuzz_config
+from repro.chaos.injectors import (
+    HYPOTHESIS_CHECKERS,
+    BlindSuspector,
+    CrashedLeaderOmega,
+    NeverStabilizingOmega,
+    ParanoidSuspector,
+    SplitQuorums,
+    TrustedUnionLiar,
+)
+from repro.chaos.shrinker import ShrinkResult, shrink_schedule
+from repro.chaos.space import draw_case
+from repro.harness.parallel import SweepTask, run_sweep
+from repro import obs as _obs
+
+#: Horizon for the hypothesis-leg history checks; comfortably past every
+#: stabilization time the samplers can draw under the configs' crash bounds.
+HYPOTHESIS_HORIZON = 200
+
+
+# ----------------------------------------------------------------------
+# Detector factories (module-level so configs stay picklable)
+# ----------------------------------------------------------------------
+
+
+def anuc_detector():
+    from repro.detectors.omega import Omega
+    from repro.detectors.paired import PairedDetector
+    from repro.detectors.sigma_nu_plus import SigmaNuPlus
+
+    return PairedDetector(Omega(), SigmaNuPlus())
+
+
+def naive_sigma_nu_detector():
+    from repro.detectors.omega import Omega
+    from repro.detectors.paired import PairedDetector
+    from repro.detectors.sigma_nu import SigmaNu
+
+    return PairedDetector(Omega(), SigmaNu())
+
+
+def ct_detector():
+    from repro.detectors.perfect import EventuallyPerfect
+
+    return EventuallyPerfect()
+
+
+def register_detector():
+    from repro.detectors.sigma import Sigma
+
+    return Sigma()
+
+
+def nostab_omega_detector():
+    from repro.detectors.paired import PairedDetector
+    from repro.detectors.sigma_nu_plus import SigmaNuPlus
+
+    return PairedDetector(NeverStabilizingOmega(), SigmaNuPlus())
+
+
+def crashed_omega_detector():
+    from repro.detectors.paired import PairedDetector
+    from repro.detectors.sigma_nu_plus import SigmaNuPlus
+
+    return PairedDetector(CrashedLeaderOmega(), SigmaNuPlus())
+
+
+def split_quorum_detector():
+    from repro.detectors.omega import Omega
+    from repro.detectors.paired import PairedDetector
+
+    return PairedDetector(Omega(), SplitQuorums())
+
+
+def trusted_union_liar_detector():
+    from repro.detectors.omega import Omega
+    from repro.detectors.paired import PairedDetector
+
+    return PairedDetector(Omega(), TrustedUnionLiar())
+
+
+def blind_ct_detector():
+    return BlindSuspector()
+
+
+def paranoid_ct_detector():
+    return ParanoidSuspector()
+
+
+def split_register_detector():
+    from repro.detectors.sigma import Sigma
+
+    return SplitQuorums(Sigma())
+
+
+def _kw(**kwargs) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted(kwargs.items()))
+
+
+_CONFIG_LIST = (
+    # ------------------------------------------------------ honest rows
+    ChaosConfig(
+        name="nuc-honest",
+        kind="consensus",
+        algorithm="anuc",
+        detector=anuc_detector,
+        case_kwargs=_kw(ns=(3, 4)),
+        budget=90_000,
+        description="A_nuc with honest (Omega, Sigma^nu+): must stay clean.",
+    ),
+    ChaosConfig(
+        name="ct-honest",
+        kind="consensus",
+        algorithm="ct",
+        detector=ct_detector,
+        case_kwargs=_kw(ns=(3, 4, 5), majority_correct=True),
+        budget=90_000,
+        description="Chandra-Toueg <>P baseline, f < n/2: must stay clean.",
+    ),
+    ChaosConfig(
+        name="register-honest",
+        kind="register",
+        algorithm="abd",
+        detector=register_detector,
+        case_kwargs=_kw(ns=(3, 4), proposal_style="register"),
+        budget=90_000,
+        description="ABD register over honest Sigma: must stay clean.",
+    ),
+    ChaosConfig(
+        name="smr-honest",
+        kind="smr",
+        algorithm="replicated-log",
+        detector=anuc_detector,
+        case_kwargs=_kw(ns=(3,), proposal_style="smr"),
+        max_steps=40_000,
+        budget=120_000,
+        description="Replicated log over honest (Omega, Sigma^nu+).",
+    ),
+    # ---------------------------------------------------- injected rows
+    ChaosConfig(
+        name="omega-nostab",
+        kind="consensus",
+        algorithm="anuc",
+        detector=nostab_omega_detector,
+        honest=anuc_detector,
+        injector=NeverStabilizingOmega,
+        expected=frozenset({"termination"}),
+        primary="termination",
+        case_kwargs=_kw(ns=(3, 4)),
+        description="Omega never stabilizes: A_nuc loses only termination.",
+    ),
+    ChaosConfig(
+        name="omega-crashed",
+        kind="consensus",
+        algorithm="anuc",
+        detector=crashed_omega_detector,
+        honest=anuc_detector,
+        injector=CrashedLeaderOmega,
+        expected=frozenset({"termination"}),
+        primary="termination",
+        case_kwargs=_kw(ns=(3, 4), min_faulty=1, max_crash_time=0),
+        description="Omega elects a crashed leader: A_nuc blocks forever.",
+    ),
+    ChaosConfig(
+        name="split-quorums",
+        kind="consensus",
+        algorithm="naive-sigma-nu",
+        detector=split_quorum_detector,
+        honest=naive_sigma_nu_detector,
+        injector=SplitQuorums,
+        expected=frozenset({"nonuniform agreement", "uniform agreement"}),
+        primary="nonuniform agreement",
+        case_kwargs=_kw(
+            ns=(4, 5, 6), min_correct=2, proposal_style="split-halves"
+        ),
+        description=(
+            "Theorem 7.1 executable: split quorums make the naive Sigma^nu "
+            "algorithm decide differently in the two halves."
+        ),
+    ),
+    ChaosConfig(
+        name="trusted-union-liar",
+        kind="consensus",
+        algorithm="anuc",
+        detector=trusted_union_liar_detector,
+        honest=anuc_detector,
+        injector=TrustedUnionLiar,
+        expected=frozenset({"termination"}),
+        primary="termination",
+        case_kwargs=_kw(ns=(3, 4), min_faulty=1, min_correct=2),
+        description=(
+            "Sigma^nu+ conditional-nonintersection lie: a faulty quorum "
+            "disjoint from the pivot's makes A_nuc's distrust rule (Fig. 5 "
+            "lines 51-53) condemn the *pivot* — a correct process distrusts "
+            "a member of its own quorum and wedges in phase 3.  Safety "
+            "survives (correct quorums still share the pivot); only "
+            "termination falls."
+        ),
+    ),
+    ChaosConfig(
+        name="ct-blind",
+        kind="consensus",
+        algorithm="ct",
+        detector=blind_ct_detector,
+        honest=ct_detector,
+        injector=BlindSuspector,
+        expected=frozenset({"termination"}),
+        primary="termination",
+        case_kwargs=_kw(
+            ns=(3, 4), min_faulty=1, majority_correct=True, max_crash_time=5
+        ),
+        description="<>P never suspects: CT blocks on a dead coordinator.",
+    ),
+    ChaosConfig(
+        name="ct-paranoid",
+        kind="consensus",
+        algorithm="ct",
+        detector=paranoid_ct_detector,
+        honest=ct_detector,
+        injector=ParanoidSuspector,
+        expected=frozenset({"termination"}),
+        primary="termination",
+        case_kwargs=_kw(ns=(3, 4), majority_correct=True),
+        description="<>P suspects everyone: no CT round ever completes.",
+    ),
+    ChaosConfig(
+        name="register-split",
+        kind="register",
+        algorithm="abd",
+        detector=split_register_detector,
+        honest=register_detector,
+        injector=SplitQuorums,
+        expected=frozenset({"register safety"}),
+        primary="register safety",
+        case_kwargs=_kw(
+            ns=(4, 5), min_correct=2, proposal_style="register"
+        ),
+        description=(
+            "Split quorums under ABD: reads miss the other half's writes "
+            "(stale reads violate real-time order)."
+        ),
+    ),
+)
+
+#: name -> config, in matrix order.
+CONFIGS: Dict[str, ChaosConfig] = {c.name: c for c in _CONFIG_LIST}
+
+
+@dataclass
+class MatrixVerdict:
+    """One row's outcome: both legs plus the exactness judgement."""
+
+    config: str
+    injected: bool
+    expected: frozenset
+    primary: Optional[str]
+    found: frozenset = frozenset()
+    cases: int = 0
+    steps: int = 0
+    exhausted: bool = False
+    primary_found: bool = False
+    exact: bool = False
+    hypothesis_rejected: Optional[bool] = None
+    honest_accepted: Optional[bool] = None
+    ok: bool = False
+    sample: str = ""
+    shrink: Optional[ShrinkResult] = None
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        return (
+            f"MatrixVerdict({self.config}: {status}, "
+            f"found={sorted(self.found)}, expected={sorted(self.expected)})"
+        )
+
+
+@dataclass
+class MatrixReport:
+    """All verdicts of one matrix run."""
+
+    seed: int
+    verdicts: List[MatrixVerdict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    def __repr__(self) -> str:
+        bad = [v.config for v in self.verdicts if not v.ok]
+        status = "ok" if not bad else f"FAIL({', '.join(bad)})"
+        return f"MatrixReport(seed={self.seed}, {len(self.verdicts)} rows, {status})"
+
+
+def hypothesis_flip(config: ChaosConfig, seed: int) -> Tuple[bool, bool]:
+    """The hypothesis leg: ``(injected rejected, honest accepted)``.
+
+    Samples one in-domain pattern from the config's own case space, then
+    checks the bare injector's history against its declared checker and the
+    honest inner detector's history against the same checker.
+    """
+    assert config.injector is not None
+    injector = config.injector()
+    checker = HYPOTHESIS_CHECKERS[injector.checker]
+    pattern = None
+    for index in range(64):
+        candidate = draw_case(
+            config.name, seed, index, max_steps=config.max_steps,
+            **config.draw_kwargs(),
+        ).pattern()
+        if injector.applicable(candidate):
+            pattern = candidate
+            break
+    if pattern is None:
+        raise RuntimeError(
+            f"no applicable pattern for {config.name} in 64 draws"
+        )
+    rng = random.Random(f"chaos/hypothesis/{config.name}/{seed}")
+    lied = injector.sample_history(pattern, rng)
+    honest = injector.inner.sample_history(pattern, rng)
+    rejected = not checker(lied, pattern, HYPOTHESIS_HORIZON).ok
+    accepted = bool(checker(honest, pattern, HYPOTHESIS_HORIZON).ok)
+    return rejected, accepted
+
+
+def judge_config(
+    name: str,
+    seed: int = 0,
+    budget: Optional[int] = None,
+    shrink: bool = False,
+) -> MatrixVerdict:
+    """Fuzz one matrix row and judge both legs.  Pure in its arguments."""
+    config = CONFIGS[name]
+    injected = config.injector is not None
+    verdict = MatrixVerdict(
+        config=name,
+        injected=injected,
+        expected=config.expected,
+        primary=config.primary,
+    )
+    if injected:
+        verdict.hypothesis_rejected, verdict.honest_accepted = hypothesis_flip(
+            config, seed
+        )
+    report: FuzzReport = fuzz_config(
+        config, seed=seed, budget=budget, stop_on=config.primary
+    )
+    verdict.found = report.found
+    verdict.cases = report.cases
+    verdict.steps = report.steps
+    verdict.exhausted = report.exhausted
+    verdict.primary_found = (
+        config.primary is not None and config.primary in report.found
+    )
+    first = report.first(config.primary)
+    if first is not None:
+        verdict.sample = first.message
+    within = report.found <= config.expected
+    if injected:
+        verdict.exact = within and (
+            config.primary is None or verdict.primary_found
+        )
+        verdict.ok = bool(
+            verdict.exact
+            and verdict.hypothesis_rejected
+            and verdict.honest_accepted
+        )
+    else:
+        verdict.exact = not report.found and report.exhausted
+        verdict.ok = verdict.exact
+    if shrink and first is not None:
+        verdict.shrink = shrink_schedule(config, first.case, first.property)
+    return verdict
+
+
+def run_matrix(
+    seed: int = 0,
+    budget: Optional[int] = None,
+    jobs: int = 1,
+    shrink: bool = False,
+    names: Optional[Sequence[str]] = None,
+) -> MatrixReport:
+    """Judge every matrix row (optionally a subset), optionally in parallel.
+
+    Results are in matrix order and independent of ``jobs``.
+    """
+    selected = list(names) if names is not None else list(CONFIGS)
+    unknown = [n for n in selected if n not in CONFIGS]
+    if unknown:
+        raise KeyError(f"unknown chaos config(s): {', '.join(unknown)}")
+    tasks = [
+        SweepTask(
+            fn=judge_config,
+            kwargs={"name": n, "seed": seed, "budget": budget, "shrink": shrink},
+        )
+        for n in selected
+    ]
+    if _obs._ENABLED:
+        with _obs.tracer().span("chaos.matrix", seed=seed, rows=len(tasks)):
+            verdicts = run_sweep(tasks, jobs=jobs)
+    else:
+        verdicts = run_sweep(tasks, jobs=jobs)
+    return MatrixReport(seed=seed, verdicts=list(verdicts))

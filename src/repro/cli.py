@@ -16,6 +16,8 @@ Commands
                    (timeline, per-span aggregates, counter totals)
 ``lint``           run the determinism & model-fidelity static analysis
                    (rule catalog in docs/linting.md)
+``chaos``          run the fault-injection matrix, fuzz single configs, or
+                   replay a shrunk ``repro-counterexample/1`` artifact
 
 Every command is a thin veneer over the public library API; the CLI exists
 so the reproduction can be poked without writing Python.
@@ -269,6 +271,93 @@ def cmd_lint(args) -> int:
     return run(args)
 
 
+def _print_matrix_verdict(verdict) -> None:
+    status = "ok " if verdict.ok else "FAIL"
+    found = ",".join(sorted(verdict.found)) or "-"
+    expected = ",".join(sorted(verdict.expected)) or "-"
+    print(
+        f"  {status} {verdict.config:<22} found={found:<42} "
+        f"expected={expected} cases={verdict.cases}"
+    )
+    if not verdict.ok and verdict.sample:
+        print(f"       sample: {verdict.sample}")
+
+
+def cmd_chaos(args) -> int:
+    from repro.chaos import CONFIGS
+
+    if args.replay:
+        from repro.chaos import replay_counterexample
+
+        with _maybe_traced(args, "chaos:replay"):
+            reproduced, outcome, document = replay_counterexample(args.replay)
+        print(f"artifact : {args.replay}")
+        print(f"config   : {document['config']}")
+        print(f"property : {document['property']}")
+        print(f"recorded : {document['message']}")
+        if reproduced:
+            live = next(
+                v
+                for v in outcome.violations
+                if v.property == document["property"]
+            )
+            print(f"replayed : {live.message}")
+            print(f"verdict  : reproduced in {outcome.steps} steps")
+            return 0
+        print("verdict  : NOT reproduced (checkers accepted the replay)")
+        return 1
+
+    if args.list:
+        for name, config in CONFIGS.items():
+            tag = "injected" if config.injector else "honest"
+            print(f"  {name:<22} [{tag}] {config.description}")
+        return 0
+
+    names = args.config or None
+    if names:
+        unknown = [name for name in names if name not in CONFIGS]
+        if unknown:
+            raise SystemExit(
+                f"unknown chaos config(s) {unknown}; "
+                f"see 'python -m repro chaos --list'"
+            )
+
+    from repro.chaos.matrix import run_matrix
+
+    with _maybe_traced(args, "chaos:matrix"):
+        report = run_matrix(
+            seed=args.seed,
+            budget=args.budget,
+            jobs=args.jobs,
+            shrink=args.shrink,
+            names=names,
+        )
+    print(f"chaos injection matrix (seed={report.seed})")
+    for verdict in report.verdicts:
+        _print_matrix_verdict(verdict)
+        if verdict.shrink is not None:
+            result = verdict.shrink
+            print(
+                f"       shrunk: {len(result.script)}-step script "
+                f"(from {result.original_schedule_len}), "
+                f"{result.evaluations} evaluations"
+            )
+            if args.out:
+                from pathlib import Path
+
+                from repro.chaos import save_counterexample
+
+                path = (
+                    Path(args.out)
+                    / f"{verdict.config}-{result.property.replace(' ', '-')}"
+                    f"-seed{report.seed}.json"
+                )
+                save_counterexample(result, path)
+                print(f"       saved : {path}")
+    print("matrix exact" if report.ok else "matrix NOT exact")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -405,6 +494,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="render even if schema validation fails",
     )
     trace.set_defaults(func=cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection matrix / schedule fuzzing / replay",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="per-config step budget override",
+    )
+    chaos.add_argument(
+        "--matrix",
+        action="store_true",
+        help="run the full injection matrix (the default action)",
+    )
+    chaos.add_argument(
+        "--config",
+        action="append",
+        default=[],
+        help="restrict to named config(s); repeatable",
+    )
+    chaos.add_argument(
+        "--replay",
+        default=None,
+        metavar="ARTIFACT",
+        help="replay a repro-counterexample/1 JSON artifact",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=1, help="parallel matrix workers"
+    )
+    chaos.add_argument(
+        "--shrink",
+        action="store_true",
+        help="shrink each primary violation to a minimal scripted prefix",
+    )
+    chaos.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for shrunk counterexample artifacts",
+    )
+    chaos.add_argument(
+        "--list", action="store_true", help="list matrix configs and exit"
+    )
+    chaos.add_argument("--trace-out", default=None)
+    chaos.set_defaults(func=cmd_chaos)
 
     lint = sub.add_parser(
         "lint",

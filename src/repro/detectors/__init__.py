@@ -20,6 +20,7 @@ from repro.detectors.base import (
 )
 from repro.detectors.checkers import (
     CheckResult,
+    check_eventually_perfect,
     check_omega,
     check_paired,
     check_sigma,
@@ -50,6 +51,7 @@ __all__ = [
     "Sigma",
     "SigmaNu",
     "SigmaNuPlus",
+    "check_eventually_perfect",
     "check_omega",
     "check_paired",
     "check_sigma",

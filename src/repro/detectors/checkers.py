@@ -136,6 +136,59 @@ def check_omega(
     return result
 
 
+def check_eventually_perfect(
+    history: History, pattern: FailurePattern, horizon: int
+) -> CheckResult:
+    """Check <>P over ``[0, horizon]``: values are suspect *sets*.
+
+    * Strong completeness (finitized): at the horizon every correct process
+      permanently suspects every faulty process.
+    * Eventual accuracy (finitized): at the horizon no correct process
+      suspects a correct process.
+
+    The stabilization time is the start of the last suffix on which both
+    clauses hold at every correct process.
+    """
+    result = CheckResult(detector="<>P", ok=True)
+    correct = sorted(pattern.correct)
+    if not correct:
+        result.details["vacuous"] = True
+        return result
+
+    def bad(suspects: FrozenSet[int]) -> bool:
+        suspects = frozenset(suspects)
+        return not (
+            pattern.faulty <= suspects and not (suspects & pattern.correct)
+        )
+
+    for q in correct:
+        final = frozenset(history.value(q, horizon))
+        missing = sorted(pattern.faulty - final)
+        if missing:
+            result.ok = False
+            result.violations.append(
+                f"completeness: correct process {q} does not suspect the "
+                f"crashed processes {missing} at the horizon"
+            )
+        wrongly = sorted(final & pattern.correct)
+        if wrongly:
+            result.ok = False
+            result.violations.append(
+                f"accuracy: correct process {q} still suspects the correct "
+                f"processes {wrongly} at the horizon"
+            )
+
+    last_bad = -1
+    for q in correct:
+        segs = _values_with_times(history, q, horizon)
+        for i, (t, v) in enumerate(segs):
+            if bad(v):
+                end = segs[i + 1][0] - 1 if i + 1 < len(segs) else horizon
+                last_bad = max(last_bad, end)
+    result.stabilization_time = last_bad + 1
+    return result
+
+
 # ----------------------------------------------------------------------
 # Quorum detectors
 # ----------------------------------------------------------------------

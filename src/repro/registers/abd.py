@@ -114,11 +114,19 @@ class RegisterClient(Process):
             opid = (ctx.pid, op_seq)
 
             # Phase 1: collect timestamps from a quorum.  The operation
-            # *invokes* at the step that ships the queries (queued sends
-            # only leave with a step).
+            # *invokes* when its queries ship.  Queued sends leave with the
+            # step during which they were queued: for any op after the
+            # first, that is the same step that completed the previous op
+            # (the current time here); for the first op the queue moment
+            # precedes every step, so the queries leave with the process's
+            # first step.  Recording a later time would fabricate
+            # "o1 precedes o2" pairs between genuinely overlapping
+            # operations and break the real-time order oracle.
+            queued_at = ctx.time
+            first_step_pending = ctx.step_count == 0
             ctx.send_to_all((RQ, opid))
             yield from ctx.take_step()
-            invoked_at = ctx.time
+            invoked_at = ctx.time if first_step_pending else queued_at
             self.attempts.append(
                 (ctx.pid, kind, args[0] if kind == "write" else None)
             )

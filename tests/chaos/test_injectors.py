@@ -1,0 +1,175 @@
+"""Injectors: each lie flips exactly its declared hypothesis checker."""
+
+import random
+
+import pytest
+
+from repro.chaos.injectors import (
+    ALL_INJECTORS,
+    HYPOTHESIS_CHECKERS,
+    BlindSuspector,
+    CrashedLeaderOmega,
+    NeverStabilizingOmega,
+    ParanoidSuspector,
+    SplitQuorums,
+    TrustedUnionLiar,
+)
+from repro.kernel.failures import FailurePattern
+
+HORIZON = 200
+
+
+def pattern_for(injector) -> FailurePattern:
+    """A small pattern inside the injector's domain."""
+    crashes = {3: 10} if injector.requires_faulty else {}
+    return FailurePattern(4, crashes)
+
+
+class TestDomain:
+    @pytest.mark.parametrize("cls", ALL_INJECTORS)
+    def test_declares_checker_and_breaks(self, cls):
+        injector = cls()
+        assert injector.checker in HYPOTHESIS_CHECKERS
+        assert injector.breaks != "?"
+        assert injector.name.startswith(cls.__name__)
+
+    @pytest.mark.parametrize("cls", ALL_INJECTORS)
+    def test_fallback_outside_domain_is_honest(self, cls):
+        """On patterns outside its domain the injector is the inner
+        detector: sampled histories pass the hypothesis checker."""
+        injector = cls()
+        if not injector.requires_faulty and injector.min_correct <= 1:
+            pytest.skip("total injector: no out-of-domain pattern exists")
+        if injector.requires_faulty:
+            pattern = FailurePattern(3, {})  # no faulty process
+        else:
+            pattern = FailurePattern(2, {1: 0})  # single correct process
+        assert not injector.applicable(pattern)
+        history = injector.sample_history(pattern, random.Random(0))
+        checker = HYPOTHESIS_CHECKERS[injector.checker]
+        assert checker(history, pattern, HORIZON).ok
+
+    @pytest.mark.parametrize("cls", ALL_INJECTORS)
+    def test_lie_rejected_honest_accepted(self, cls):
+        injector = cls()
+        pattern = pattern_for(injector)
+        assert injector.applicable(pattern)
+        checker = HYPOTHESIS_CHECKERS[injector.checker]
+        lie = injector.sample_history(pattern, random.Random(1))
+        assert not checker(lie, pattern, HORIZON).ok
+        honest = injector.inner.sample_history(pattern, random.Random(1))
+        assert checker(honest, pattern, HORIZON).ok
+
+
+class TestOmegaInjectors:
+    def test_never_stabilizing_rotates(self):
+        injector = NeverStabilizingOmega(period=7)
+        pattern = FailurePattern(4, {})
+        history = injector.sample_history(pattern, random.Random(0))
+        values = {history.value(0, t) for t in range(0, 100)}
+        assert len(values) == 4  # every process gets a turn
+        # No common simultaneous leader across processes.
+        assert all(
+            history.value(0, t) != history.value(1, t) for t in range(50)
+        )
+
+    def test_never_stabilizing_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            NeverStabilizingOmega(period=0)
+
+    def test_crashed_leader_elects_lowest_faulty(self):
+        injector = CrashedLeaderOmega()
+        pattern = FailurePattern(4, {1: 5, 2: 9})
+        history = injector.sample_history(pattern, random.Random(0))
+        assert all(
+            history.value(p, t) == 1
+            for p in range(4)
+            for t in range(0, 60, 7)
+        )
+
+
+class TestQuorumInjectors:
+    def test_halves_partition_the_correct_set(self):
+        pattern = FailurePattern(6, {5: 0})
+        half_a, half_b = SplitQuorums.halves(pattern)
+        assert half_a & half_b == frozenset()
+        assert half_a | half_b == pattern.correct
+        assert len(half_a) >= len(half_b)
+
+    def test_split_quorums_outputs_own_half(self):
+        injector = SplitQuorums()
+        pattern = FailurePattern(5, {4: 3})
+        half_a, half_b = SplitQuorums.halves(pattern)
+        history = injector.sample_history(pattern, random.Random(0))
+        for p in half_a:
+            assert history.value(p, 50) == half_a
+        for p in half_b:
+            assert history.value(p, 50) == half_b
+        assert history.value(4, 50) == frozenset([4])
+
+    def test_split_quorums_keeps_sigma_nu_completeness(self):
+        """Only intersection breaks: the sigma_nu checker's violations all
+        mention intersection, never completeness or self-inclusion."""
+        from repro.detectors import check_sigma_nu
+
+        injector = SplitQuorums()
+        pattern = FailurePattern(5, {4: 3})
+        history = injector.sample_history(pattern, random.Random(0))
+        result = check_sigma_nu(history, pattern, HORIZON)
+        assert not result.ok
+        assert result.violations
+        assert all("intersection" in v for v in result.violations)
+
+    def test_trusted_union_liar_shape(self):
+        injector = TrustedUnionLiar()
+        pattern = FailurePattern(4, {3: 10})
+        history = injector.sample_history(pattern, random.Random(0))
+        correct = sorted(pattern.correct)
+        pivot, confederate = correct[0], correct[1]
+        for p in correct:
+            assert history.value(p, 40) == frozenset([pivot, p])
+        assert history.value(3, 40) == frozenset([3, confederate])
+
+    def test_trusted_union_liar_preserves_sigma_nu(self):
+        """The lie is Sigma^nu+-specific: plain Sigma^nu still accepts."""
+        from repro.detectors import check_sigma_nu, check_sigma_nu_plus
+
+        injector = TrustedUnionLiar()
+        pattern = FailurePattern(4, {3: 10})
+        history = injector.sample_history(pattern, random.Random(0))
+        assert check_sigma_nu(history, pattern, HORIZON).ok
+        assert not check_sigma_nu_plus(history, pattern, HORIZON).ok
+
+
+class TestPerfectInjectors:
+    def test_blind_never_suspects(self):
+        injector = BlindSuspector()
+        pattern = FailurePattern(3, {2: 4})
+        history = injector.sample_history(pattern, random.Random(0))
+        assert history.value(0, 100) == frozenset()
+
+    def test_paranoid_suspects_everyone(self):
+        injector = ParanoidSuspector()
+        pattern = FailurePattern(3, {})
+        history = injector.sample_history(pattern, random.Random(0))
+        assert history.value(1, 100) == frozenset({0, 1, 2})
+
+    def test_blind_breaks_only_completeness(self):
+        from repro.detectors import check_eventually_perfect
+
+        injector = BlindSuspector()
+        pattern = FailurePattern(3, {2: 4})
+        history = injector.sample_history(pattern, random.Random(0))
+        result = check_eventually_perfect(history, pattern, HORIZON)
+        assert not result.ok
+        assert all(v.startswith("completeness") for v in result.violations)
+
+    def test_paranoid_breaks_only_accuracy(self):
+        from repro.detectors import check_eventually_perfect
+
+        injector = ParanoidSuspector()
+        pattern = FailurePattern(3, {2: 4})
+        history = injector.sample_history(pattern, random.Random(0))
+        result = check_eventually_perfect(history, pattern, HORIZON)
+        assert not result.ok
+        assert all(v.startswith("accuracy") for v in result.violations)

@@ -1,0 +1,159 @@
+"""The injection matrix: registry shape, hypothesis legs, verdict logic."""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos.fuzzer import PROPERTIES
+from repro.chaos.injectors import ALL_INJECTORS
+from repro.chaos.matrix import (
+    CONFIGS,
+    MatrixReport,
+    MatrixVerdict,
+    hypothesis_flip,
+    judge_config,
+    run_matrix,
+)
+
+INJECTED = sorted(n for n, c in CONFIGS.items() if c.injector is not None)
+HONEST = sorted(n for n, c in CONFIGS.items() if c.injector is None)
+
+
+class TestRegistry:
+    def test_names_match_keys(self):
+        for name, config in CONFIGS.items():
+            assert config.name == name
+
+    def test_expected_properties_in_vocabulary(self):
+        for config in CONFIGS.values():
+            assert config.expected <= set(PROPERTIES)
+            if config.primary is not None:
+                assert config.primary in config.expected
+
+    def test_honest_rows_expect_nothing(self):
+        for name in HONEST:
+            config = CONFIGS[name]
+            assert config.expected == frozenset()
+            assert config.primary is None
+            assert config.honest is None
+
+    def test_injected_rows_declare_expectations(self):
+        for name in INJECTED:
+            config = CONFIGS[name]
+            assert config.honest is not None
+            assert config.expected, name
+            assert config.primary is not None
+
+    def test_every_injector_has_a_row(self):
+        used = {CONFIGS[name].injector for name in INJECTED}
+        assert used == set(ALL_INJECTORS)
+
+    def test_detector_factories_are_picklable(self):
+        """Configs ride through the parallel sweep driver as pickles."""
+        import pickle
+
+        for config in CONFIGS.values():
+            pickle.loads(pickle.dumps(config))
+
+
+class TestHypothesisFlip:
+    @pytest.mark.parametrize("name", INJECTED)
+    def test_injected_history_rejected_honest_accepted(self, name):
+        rejected, accepted = hypothesis_flip(CONFIGS[name], seed=0)
+        assert rejected, f"{name}: lie not rejected by its checker"
+        assert accepted, f"{name}: honest inner history not accepted"
+
+    def test_deterministic(self):
+        name = INJECTED[0]
+        assert hypothesis_flip(CONFIGS[name], seed=5) == hypothesis_flip(
+            CONFIGS[name], seed=5
+        )
+
+
+class TestJudgeConfig:
+    def test_injected_smoke(self):
+        verdict = judge_config("omega-crashed", seed=0, budget=35_000)
+        assert isinstance(verdict, MatrixVerdict)
+        assert verdict.injected
+        assert verdict.primary_found
+        assert verdict.found <= verdict.expected
+        assert verdict.hypothesis_rejected and verdict.honest_accepted
+        assert verdict.ok
+        assert "termination" in verdict.sample
+
+    def test_honest_smoke(self):
+        verdict = judge_config("nuc-honest", seed=0, budget=12_000)
+        assert not verdict.injected
+        assert verdict.found == frozenset()
+        assert verdict.exhausted
+        assert verdict.ok
+        assert verdict.hypothesis_rejected is None
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            judge_config("martian", seed=0)
+
+    def test_judge_is_deterministic(self):
+        a = judge_config("omega-crashed", seed=0, budget=35_000)
+        b = judge_config("omega-crashed", seed=0, budget=35_000)
+        assert a == b
+
+    def test_shrink_attaches_artifact(self):
+        verdict = judge_config(
+            "omega-crashed", seed=0, budget=35_000, shrink=True
+        )
+        assert verdict.shrink is not None
+        assert verdict.shrink.property == "termination"
+
+
+class TestRunMatrix:
+    def test_name_restriction(self):
+        report = run_matrix(
+            seed=0, budget=35_000, names=["omega-crashed"]
+        )
+        assert isinstance(report, MatrixReport)
+        assert [v.config for v in report.verdicts] == ["omega-crashed"]
+        assert report.ok
+
+    def test_parallel_matches_serial(self):
+        serial = run_matrix(
+            seed=0, budget=35_000, names=["omega-crashed", "ct-paranoid"]
+        )
+        parallel = run_matrix(
+            seed=0,
+            budget=35_000,
+            jobs=2,
+            names=["omega-crashed", "ct-paranoid"],
+        )
+        assert serial.verdicts == parallel.verdicts
+
+    @pytest.mark.slow
+    def test_full_matrix_exact_at_seed_zero(self):
+        """The acceptance gate: every injector's fuzz finds its declared
+        violation, honest rows exhaust clean, hypothesis legs all flip."""
+        report = run_matrix(seed=0, jobs=4)
+        assert [v.config for v in report.verdicts] == list(CONFIGS)
+        for verdict in report.verdicts:
+            assert verdict.ok, (verdict.config, verdict.sample)
+        assert report.ok
+
+    @pytest.mark.slow
+    def test_full_matrix_bit_identical(self):
+        a = run_matrix(seed=1, budget=40_000, jobs=4)
+        b = run_matrix(seed=1, budget=40_000, jobs=4)
+        assert a.verdicts == b.verdicts
+
+
+class TestObservability:
+    def test_chaos_counters_recorded(self):
+        from repro import obs
+
+        obs.enable(label="chaos-test")
+        try:
+            judge_config("omega-crashed", seed=0, budget=35_000)
+            counters = obs.metrics().snapshot()["counters"]
+        finally:
+            obs.disable()
+        assert counters.get("chaos.cases", 0) >= 1
+        assert counters.get("chaos.steps", 0) >= 1
+        assert counters.get("chaos.violations", 0) >= 1

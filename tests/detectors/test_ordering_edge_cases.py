@@ -1,0 +1,87 @@
+"""Edge cases for the ⪯-preorder machinery: degenerate inputs."""
+
+import pytest
+
+from repro.detectors.ordering import (
+    Demonstration,
+    demonstrate,
+    identity_transformation,
+    projection_transformation,
+    sigma_nu_weaker_than_sigma,
+)
+from repro.kernel.failures import FailurePattern
+
+
+class TestVacuousDemonstrations:
+    def test_empty_pattern_list_is_vacuously_valid(self):
+        demo = demonstrate(sigma_nu_weaker_than_sigma(), patterns=[])
+        assert demo.runs == 0
+        assert demo.all_valid
+        assert demo.checks == []
+
+    def test_repr_survives_zero_runs(self):
+        demo = Demonstration(
+            transformation="t", runs=0, all_valid=True, checks=[]
+        )
+        assert "ok" in repr(demo)
+
+
+class TestSingleProcessSystems:
+    def test_identity_over_single_process(self):
+        """n = 1: the pivot quorum is {0} and the identity transformation
+        still witnesses Σν ⪯ Σ."""
+        demo = demonstrate(
+            sigma_nu_weaker_than_sigma(),
+            patterns=[FailurePattern(1, {})],
+        )
+        assert demo.runs == 1
+        assert demo.all_valid, demo.checks[0].violations
+
+    def test_projection_over_single_process(self):
+        from repro.detectors import Omega, PairedDetector, SigmaNu, check_omega
+
+        transformation = projection_transformation(
+            PairedDetector(Omega(), SigmaNu()),
+            index=0,
+            target_checker=check_omega,
+        )
+        demo = demonstrate(
+            transformation, patterns=[FailurePattern(1, {})]
+        )
+        assert demo.all_valid, demo.checks[0].violations
+
+
+class TestEmptyHistorySuffixes:
+    """Patterns whose correct set is empty (everyone crashes): every
+    detector obligation is over correct processes, so the emitted history's
+    suffix is empty and the checks must pass vacuously — not crash."""
+
+    def test_all_crashed_pattern_is_vacuous(self):
+        pattern = FailurePattern(2, {0: 0, 1: 0})
+        demo = demonstrate(
+            sigma_nu_weaker_than_sigma(), patterns=[pattern], max_steps=50
+        )
+        assert demo.runs == 1
+        assert demo.all_valid, demo.checks[0].violations
+
+    def test_transform_function_is_applied(self):
+        from repro.detectors import Sigma, check_sigma_nu
+
+        transformation = identity_transformation(
+            Sigma("pivot"),
+            check_sigma_nu,
+            transform=lambda quorum: frozenset(quorum),
+        )
+        demo = demonstrate(
+            transformation, patterns=[FailurePattern(2, {})]
+        )
+        assert demo.all_valid
+
+    def test_recorded_history_undefined_before_first_output(self):
+        """An emitted history with no outputs has no value anywhere — the
+        KeyError contract the checkers' vacuity relies on."""
+        from repro.detectors.base import RecordedHistory
+
+        empty = RecordedHistory(1, horizon=10)
+        with pytest.raises(KeyError):
+            empty.value(0, 5)

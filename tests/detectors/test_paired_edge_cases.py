@@ -1,0 +1,112 @@
+"""Edge cases for the product detector: arity, projection, caching."""
+
+import random
+
+import pytest
+
+from repro.detectors import (
+    Omega,
+    PairedDetector,
+    PairedHistory,
+    Sigma,
+    SigmaNu,
+    SigmaNuPlus,
+    sample_history_cached,
+)
+from repro.detectors.base import RecordedHistory
+from repro.kernel.failures import FailurePattern
+
+
+class TestArity:
+    def test_detector_rejects_fewer_than_two(self):
+        with pytest.raises(ValueError):
+            PairedDetector(Omega())
+        with pytest.raises(ValueError):
+            PairedDetector()
+
+    def test_history_rejects_fewer_than_two(self):
+        inner = RecordedHistory(1, 10, initial={0: 0})
+        with pytest.raises(ValueError):
+            PairedHistory([inner])
+
+    def test_triple_product(self):
+        pattern = FailurePattern(3, {})
+        detector = PairedDetector(Omega(), Sigma(), SigmaNu())
+        history = detector.sample_history(pattern, random.Random(0))
+        value = history.value(0, 50)
+        assert len(value) == 3
+        assert value == tuple(
+            history.project(i).value(0, 50) for i in range(3)
+        )
+
+    def test_name_lists_components(self):
+        detector = PairedDetector(Omega(), SigmaNuPlus())
+        assert detector.name.startswith("(")
+        assert Omega().name in detector.name
+
+
+class TestSingleProcessSystems:
+    """n = 1: the degenerate but legal environment (a quorum is {0},
+    the leader is 0, every product projects consistently)."""
+
+    def test_pair_over_single_process(self):
+        pattern = FailurePattern(1, {})
+        detector = PairedDetector(Omega(), SigmaNu())
+        history = detector.sample_history(pattern, random.Random(3))
+        for t in (0, 1, 100):
+            leader, quorum = history.value(0, t)
+            assert leader == 0
+            assert quorum == frozenset({0})
+
+    def test_single_process_checkers_accept(self):
+        from repro.detectors import check_omega, check_sigma_nu
+
+        pattern = FailurePattern(1, {})
+        history = PairedDetector(Omega(), SigmaNu()).sample_history(
+            pattern, random.Random(0)
+        )
+        assert check_omega(history.project(0), pattern, 100).ok
+        assert check_sigma_nu(history.project(1), pattern, 100).ok
+
+
+class TestCacheKey:
+    def test_stable_across_instances(self):
+        a = PairedDetector(Omega(), SigmaNuPlus())
+        b = PairedDetector(Omega(), SigmaNuPlus())
+        assert a.cache_key() is not None
+        assert a.cache_key() == b.cache_key()
+
+    def test_distinguishes_component_configuration(self):
+        base = PairedDetector(Omega(), SigmaNu())
+        tweaked = PairedDetector(Omega(stabilization_slack=99), SigmaNu())
+        reordered = PairedDetector(SigmaNu(), Omega())
+        assert base.cache_key() != tweaked.cache_key()
+        assert base.cache_key() != reordered.cache_key()
+
+    def test_uncacheable_component_poisons_the_product(self):
+        class Opaque(Omega):
+            def __init__(self):
+                super().__init__()
+                self.blob = object()  # unkeyable attribute
+
+        assert PairedDetector(Opaque(), SigmaNu()).cache_key() is None
+
+    def test_cached_sampling_shares_histories(self):
+        pattern = FailurePattern(3, {2: 5})
+        a = sample_history_cached(
+            PairedDetector(Omega(), SigmaNuPlus()), pattern, 1234
+        )
+        b = sample_history_cached(
+            PairedDetector(Omega(), SigmaNuPlus()), pattern, 1234
+        )
+        assert a is b
+
+    def test_injectors_are_cacheable(self):
+        """The chaos injectors ride through sample_history_cached; their
+        keys must be stable and distinct from their honest inners."""
+        from repro.chaos.injectors import SplitQuorums
+
+        a, b = SplitQuorums(), SplitQuorums()
+        assert a.cache_key() is not None
+        assert a.cache_key() == b.cache_key()
+        assert a.cache_key() != a.inner.cache_key()

@@ -43,5 +43,67 @@ def binary_proposals(draw, n):
     return {p: draw(st.sampled_from([0, 1])) for p in range(n)}
 
 
+@st.composite
+def quorum_families(draw, pattern, intersecting=True):
+    """Per-process quorum families over ``pattern``'s processes.
+
+    With ``intersecting=True`` every quorum contains a common pivot drawn
+    from the correct set (the Sigma-style uniform-intersection shape);
+    otherwise quorums are arbitrary nonempty subsets — useful as the
+    *rejected* side of checker tests.
+    """
+    n = pattern.n
+    pivot = draw(st.sampled_from(sorted(pattern.correct))) if intersecting else None
+    family = {}
+    for p in range(n):
+        count = draw(st.integers(1, 2))
+        quorums = []
+        for _ in range(count):
+            members = set(
+                draw(
+                    st.lists(
+                        st.integers(0, n - 1),
+                        min_size=1,
+                        max_size=n,
+                        unique=True,
+                    )
+                )
+            )
+            if intersecting:
+                members.add(pivot)
+            quorums.append(frozenset(members))
+        family[p] = frozenset(quorums)
+    return family
+
+
+@st.composite
+def detector_histories(draw, detector_factory, pattern=None, **pattern_kwargs):
+    """``(pattern, history)`` sampled from a detector module.
+
+    ``detector_factory`` is a zero-argument callable (e.g. ``Sigma`` or a
+    chaos-matrix factory); the sampling RNG is seeded from a drawn integer
+    so hypothesis can shrink over it.
+    """
+    if pattern is None:
+        pattern = draw(failure_patterns(**pattern_kwargs))
+    seed = draw(st.integers(0, 10**6))
+    history = detector_factory().sample_history(pattern, random.Random(seed))
+    return pattern, history
+
+
+@st.composite
+def fuzz_cases(draw, config="hypothesis", ns=(3, 4, 5), max_steps=2000, **kwargs):
+    """A chaos :class:`~repro.chaos.space.FuzzCase` via its own drawing
+    code, indexed by a hypothesis-drawn (seed, index) pair — so shrinking
+    walks the same deterministic case space the fuzzer explores."""
+    from repro.chaos.space import draw_case
+
+    seed = draw(st.integers(0, 10**6))
+    index = draw(st.integers(0, 500))
+    return draw_case(
+        config, seed=seed, index=index, ns=ns, max_steps=max_steps, **kwargs
+    )
+
+
 def seeded_rng(seed: int) -> random.Random:
     return random.Random(seed)

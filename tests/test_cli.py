@@ -151,3 +151,59 @@ class TestReproduceCommand:
         for i in range(1, 10):
             assert f"EXP-{i}" in report
         assert "REPRODUCTION REPORT" in report
+
+
+class TestChaosCommand:
+    FIXTURE = "tests/chaos/fixtures/split-quorums-nonuniform-agreement-seed0.json"
+
+    def test_list_configs(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "split-quorums" in out
+        assert "[honest]" in out and "[injected]" in out
+
+    def test_unknown_config_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["chaos", "--config", "martian"])
+
+    def test_single_config_matrix(self, capsys):
+        code = main(
+            ["chaos", "--config", "omega-crashed", "--budget", "35000"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "omega-crashed" in out
+        assert "matrix exact" in out
+
+    def test_replay_fixture(self, capsys):
+        code = main(["chaos", "--replay", self.FIXTURE])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reproduced" in out
+        assert "nonuniform agreement" in out
+
+    def test_shrink_writes_artifact(self, capsys, tmp_path):
+        code = main(
+            [
+                "chaos",
+                "--config",
+                "omega-crashed",
+                "--budget",
+                "35000",
+                "--shrink",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shrunk" in out
+        artifacts = list(tmp_path.glob("*.json"))
+        assert len(artifacts) == 1
+        from repro.chaos import load_counterexample
+
+        document = load_counterexample(artifacts[0])
+        assert document["config"] == "omega-crashed"
+        assert document["property"] == "termination"

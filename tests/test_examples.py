@@ -1,0 +1,35 @@
+"""Every example script must run clean and say something.
+
+The examples double as executable documentation; a refactor that breaks
+one breaks the README's promises.  Each script is executed in-process
+(``runpy``, fresh ``__main__`` namespace) so failures surface as ordinary
+test failures with full tracebacks, and its stdout must be nonempty.
+"""
+
+import io
+import runpy
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 9
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.stem for script in EXAMPLES]
+)
+def test_example_runs_clean_with_output(script):
+    buffer = io.StringIO()
+    try:
+        with redirect_stdout(buffer):
+            runpy.run_path(str(script), run_name="__main__")
+    except SystemExit as exc:  # an explicit sys.exit(0) is success
+        assert not exc.code, f"{script.name} exited with {exc.code!r}"
+    output = buffer.getvalue()
+    assert output.strip(), f"{script.name} printed nothing"

@@ -176,3 +176,70 @@ class TestDagProperties:
         chain = balanced_chain(cores[0].dag.nodes())
         for u, v in zip(chain, chain[1:]):
             assert SampleDAG.is_ancestor(u, v)
+
+
+class TestChaosProperties:
+    """The chaos harness's own invariants, quantified over its case space."""
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_fuzz_case_json_round_trip(self, data):
+        from repro.chaos.space import FuzzCase
+        from tests.strategies import fuzz_cases
+
+        case = data.draw(fuzz_cases())
+        assert FuzzCase.from_json(case.to_json()) == case
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10**6), index=st.integers(0, 500))
+    def test_draw_case_is_pure_in_seed_and_index(self, seed, index):
+        from repro.chaos.space import draw_case
+
+        a = draw_case("purity", seed=seed, index=index, ns=(3, 4), max_steps=100)
+        b = draw_case("purity", seed=seed, index=index, ns=(3, 4), max_steps=100)
+        assert a == b
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_intersecting_quorum_families_pairwise_intersect(self, data):
+        from tests.strategies import quorum_families
+
+        pattern = data.draw(failure_patterns(min_n=2, max_n=5))
+        family = data.draw(quorum_families(pattern, intersecting=True))
+        quorums = [q for qs in family.values() for q in qs]
+        for a in quorums:
+            for b in quorums:
+                assert a & b
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_eventually_perfect_histories_pass_their_checker(self, data):
+        from tests.strategies import detector_histories
+
+        from repro.detectors import EventuallyPerfect, check_eventually_perfect
+
+        pattern, history = data.draw(
+            detector_histories(EventuallyPerfect, min_n=2, max_n=5)
+        )
+        result = check_eventually_perfect(history, pattern, 200)
+        assert result.ok, result.violations
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_injected_histories_rejected_by_their_checker(self, data):
+        """Every injector's histories must flip exactly its declared
+        hypothesis checker — the hypothesis half of the injection matrix,
+        quantified over random applicable patterns."""
+        import random as _random
+
+        from repro.chaos.injectors import ALL_INJECTORS, HYPOTHESIS_CHECKERS
+
+        injector_cls = data.draw(st.sampled_from(list(ALL_INJECTORS)))
+        pattern = data.draw(failure_patterns(min_n=3, max_n=5, min_correct=2))
+        injector = injector_cls()
+        if not injector.applicable(pattern):
+            return
+        seed = data.draw(st.integers(0, 10**6))
+        history = injector.sample_history(pattern, _random.Random(seed))
+        checker = HYPOTHESIS_CHECKERS[injector.checker]
+        assert not checker(history, pattern, 200).ok
