@@ -5,6 +5,10 @@ Measures the run engine and the sweep driver and writes ``BENCH_kernel.json``
 
 * kernel step throughput on the quorum-MR micro workload, in both trace
   modes (``"full"`` and ``"metrics"``), plus the metrics/full speedup;
+* with ``--batch``, the batched kernel (``repro.kernel.batch``) over 256
+  quorum-MR lanes against the same lanes run one ``System`` at a time —
+  numpy and pure-python control planes benched separately (the ``batch``
+  section; see docs/performance.md for how to read it);
 * wall time of each EXP-1..EXP-9 sweep at its quick parameterization;
 * one serial-vs-parallel sweep comparison (``jobs=1`` against ``--jobs N``)
   with the observed speedup.  On single-CPU machines the honest number is
@@ -33,6 +37,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 MICRO_STEPS = 300
 MICRO_N = 5
+BATCH_LANES = 256
 
 QUICK_OVERRIDES = {
     "exp1": dict(ns=(2, 3), seeds=(0,)),
@@ -95,6 +100,104 @@ def _timed(fn, *args) -> float:
     start = time.perf_counter()
     fn(*args)
     return time.perf_counter() - start
+
+
+def _batch_specs():
+    from repro.consensus.quorum_mr import QuorumMR
+    from repro.detectors import Omega, PairedDetector, Sigma
+    from repro.detectors.base import sample_history_cached
+    from repro.kernel.batch import LaneSpec
+    from repro.kernel.failures import FailurePattern
+
+    pattern = FailurePattern(MICRO_N, {})
+    detector = PairedDetector(Omega(), Sigma("pivot"))
+    proposals = {p: p % 2 for p in range(MICRO_N)}
+    return [
+        LaneSpec(
+            pattern=pattern,
+            history=sample_history_cached(detector, pattern, seed),
+            seed=seed,
+            max_steps=MICRO_STEPS,
+            automaton=QuorumMR(),
+            proposals=proposals,
+            trace="metrics",
+        )
+        for seed in range(BATCH_LANES)
+    ]
+
+
+def _serial_lanes(specs) -> int:
+    from repro.kernel.automaton import AutomatonProcess
+    from repro.kernel.system import System
+
+    total = 0
+    for spec in specs:
+        processes = {
+            p: AutomatonProcess(spec.automaton, spec.proposals[p])
+            for p in range(spec.pattern.n)
+        }
+        system = System(
+            processes, spec.pattern, spec.history, seed=spec.seed,
+            trace="metrics",
+        )
+        total += system.run(max_steps=spec.max_steps).total_steps
+    return total
+
+
+def _batched_lanes(specs, use_numpy) -> int:
+    from repro.kernel.batch import BatchSystem
+
+    results = BatchSystem(specs, use_numpy=use_numpy).run()
+    return sum(r.total_steps for r in results)
+
+
+def bench_batch(repeats: int) -> Dict[str, Any]:
+    """The batched kernel vs one-`System.run()`-at-a-time, same 256 lanes.
+
+    All three modes execute bit-identical runs (the oracle suite in
+    ``tests/kernel/test_batch.py`` proves it), so steps/sec is the whole
+    story.  The numpy/pure-python split is benched separately because the
+    control plane differs; ``speedup_vs_serial`` of the best available
+    mode is what the CI gate watches.
+    """
+    try:
+        import numpy  # noqa: F401 -- availability probe only
+        have_numpy = True
+    except ImportError:
+        have_numpy = False
+
+    specs = _batch_specs()
+    total_steps = _serial_lanes(specs)  # warm-up; also the step count
+    out: Dict[str, Any] = {
+        "workload": (
+            f"quorum-MR over (Omega, Sigma), n={MICRO_N}, "
+            f"{BATCH_LANES} lanes x {MICRO_STEPS} steps, metrics trace"
+        ),
+        "lanes": BATCH_LANES,
+        "steps_per_lane": MICRO_STEPS,
+        "total_steps": total_steps,
+    }
+    serial_best = min(
+        _timed(_serial_lanes, specs) for _ in range(repeats)
+    )
+    out["serial"] = {
+        "best_ms": round(serial_best * 1e3, 3),
+        "steps_per_sec": round(total_steps / serial_best),
+    }
+    modes = [("pure_python", False)] + ([("numpy", True)] if have_numpy else [])
+    for label, use_numpy in modes:
+        _batched_lanes(specs, use_numpy)  # warm up
+        best = min(
+            _timed(_batched_lanes, specs, use_numpy) for _ in range(repeats)
+        )
+        out[label] = {
+            "best_ms": round(best * 1e3, 3),
+            "steps_per_sec": round(total_steps / best),
+            "speedup_vs_serial": round(serial_best / best, 3),
+        }
+    out["primary_mode"] = "numpy" if have_numpy else "pure_python"
+    out["speedup"] = out[out["primary_mode"]]["speedup_vs_serial"]
+    return out
 
 
 def bench_experiments(names) -> List[Dict[str, Any]]:
@@ -184,6 +287,12 @@ def main(argv=None) -> int:
         help="worker count for the parallel comparison (default 2)",
     )
     parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="also measure the batched kernel (BatchSystem, "
+        f"{BATCH_LANES} quorum-MR lanes) and emit the `batch` section",
+    )
+    parser.add_argument(
         "--output",
         default=os.path.join(REPO_ROOT, "BENCH_kernel.json"),
         metavar="FILE",
@@ -201,6 +310,18 @@ def main(argv=None) -> int:
         f"({kernel['metrics_speedup_vs_full']}x)",
         flush=True,
     )
+    batch = None
+    if args.batch:
+        print(f"batched kernel ({BATCH_LANES} lanes) ...", flush=True)
+        batch = bench_batch(2 if args.quick else 3)
+        serial_sps = batch["serial"]["steps_per_sec"]
+        primary = batch[batch["primary_mode"]]
+        print(
+            f"  serial: {serial_sps:,} steps/s   "
+            f"{batch['primary_mode']}: {primary['steps_per_sec']:,} steps/s   "
+            f"({batch['speedup']}x)",
+            flush=True,
+        )
     print("experiment sweeps (quick parameterization) ...", flush=True)
     experiments = bench_experiments(names)
     print("traced exp3 phase breakdown ...", flush=True)
@@ -224,7 +345,7 @@ def main(argv=None) -> int:
     from repro.obs.export import environment_stamp
 
     report = {
-        "schema": "bench-kernel/1",
+        "schema": "bench-kernel/2",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "quick": args.quick,
         "environment": environment_stamp(REPO_ROOT),
@@ -233,6 +354,8 @@ def main(argv=None) -> int:
         "phases": phases,
         "sweep_parallelism": sweep,
     }
+    if batch is not None:
+        report["batch"] = batch
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")

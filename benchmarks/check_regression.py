@@ -8,6 +8,12 @@ mode.  Wall times of the experiment sweeps are reported but not gated —
 they run at quick parameterizations where noise swamps small shifts; the
 steps/sec micro-benchmark is the stable signal.
 
+When the new report carries a ``batch`` section (``bench_report.py
+--batch``), the batched kernel is gated too: its primary-mode aggregate
+throughput must not fall below the serial engine measured in the same run
+(speedup >= 1), and must not drop more than ``--threshold`` percent below
+the committed baseline's batch throughput.
+
 ``--chaos`` switches to the *semantic* regression gate instead: it runs the
 quick chaos injection-matrix rows (see ``repro.chaos.matrix``) and fails if
 any row stops being exact — an injector no longer finds its declared
@@ -141,6 +147,31 @@ def main(argv=None) -> int:
         )
         if drop > args.threshold:
             failures.append(trace)
+
+    if "batch" in new:
+        batch = new["batch"]
+        primary_mode = batch.get("primary_mode", "numpy")
+        primary = batch[primary_mode]
+        speedup = primary["speedup_vs_serial"]
+        status = "FAIL" if speedup < 1.0 else "ok"
+        print(
+            f"batch[{primary_mode}]: {primary['steps_per_sec']:,} steps/s, "
+            f"{speedup}x vs serial in the same run [{status}]"
+        )
+        if speedup < 1.0:
+            failures.append("batch-below-serial")
+        base_batch = baseline.get("batch")
+        if base_batch and primary_mode in base_batch:
+            base_sps = base_batch[primary_mode]["steps_per_sec"]
+            now_sps = primary["steps_per_sec"]
+            drop = 100.0 * (base_sps - now_sps) / base_sps if base_sps else 0.0
+            status = "FAIL" if drop > args.threshold else "ok"
+            print(
+                f"batch[{primary_mode}]: baseline {base_sps:,} steps/s, "
+                f"new {now_sps:,} steps/s ({drop:+.1f}% drop) [{status}]"
+            )
+            if drop > args.threshold:
+                failures.append("batch-throughput")
 
     base_sweeps = {e["name"]: e["wall_s"] for e in baseline.get("experiments", [])}
     for entry in new.get("experiments", []):

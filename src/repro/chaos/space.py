@@ -16,20 +16,12 @@ import random
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+# The spec vocabulary is owned by the batched kernel (whose capability
+# probe must understand every spec the fuzzer can draw); re-exported here
+# because fuzz artifacts and the shrinker historically import it from the
+# case space.
+from repro.kernel.batch import build_delivery, build_scheduler
 from repro.kernel.failures import FailurePattern
-from repro.kernel.messages import (
-    DeliveryPolicy,
-    FairRandomDelivery,
-    OldestFirstDelivery,
-    PerSenderFifoDelivery,
-)
-from repro.kernel.scheduler import (
-    RandomFairScheduler,
-    RoundRobinScheduler,
-    SchedulingPolicy,
-    ScriptedScheduler,
-    WeightedScheduler,
-)
 
 
 @dataclass(frozen=True)
@@ -107,36 +99,8 @@ def _spec_from_json(data: Sequence[Any]) -> Tuple[Any, ...]:
 
 
 # ----------------------------------------------------------------------
-# Spec builders
+# Spec draws
 # ----------------------------------------------------------------------
-
-
-def build_scheduler(spec: Sequence[Any]) -> SchedulingPolicy:
-    """A fresh scheduler instance from its serializable spec."""
-    kind = spec[0]
-    if kind == "round-robin":
-        return RoundRobinScheduler()
-    if kind == "random-fair":
-        return RandomFairScheduler(max_gap=spec[1])
-    if kind == "weighted":
-        weights = {int(p): w for p, w in spec[1]}
-        return WeightedScheduler(weights, max_gap=spec[2])
-    if kind == "scripted":
-        fallback = build_scheduler(spec[2]) if len(spec) > 2 else None
-        return ScriptedScheduler(list(spec[1]), fallback=fallback)
-    raise ValueError(f"unknown scheduler spec {spec!r}")
-
-
-def build_delivery(spec: Sequence[Any]) -> DeliveryPolicy:
-    """A fresh delivery policy instance from its serializable spec."""
-    kind = spec[0]
-    if kind == "fair-random":
-        return FairRandomDelivery(lambda_prob=spec[1], max_age=spec[2])
-    if kind == "per-sender-fifo":
-        return PerSenderFifoDelivery(lambda_prob=spec[1], max_age=spec[2])
-    if kind == "oldest-first":
-        return OldestFirstDelivery()
-    raise ValueError(f"unknown delivery spec {spec!r}")
 
 
 def _draw_scheduler_spec(rng: random.Random, n: int) -> Tuple[Any, ...]:

@@ -82,6 +82,7 @@ def run_sweep(
     tasks: Iterable[SweepTask],
     jobs: Optional[int] = 1,
     chunksize: Optional[int] = None,
+    batch: bool = False,
 ) -> List[Any]:
     """Execute ``tasks`` with ``jobs`` workers; results in task order.
 
@@ -89,12 +90,35 @@ def run_sweep(
     runs inline.  ``chunksize`` tunes how many tasks each worker claims at a
     time (default: enough chunks for ~4 rounds per worker, which amortizes
     task pickling without starving stragglers).
+
+    ``batch=True`` packs tasks with a registered batch planner (see
+    :mod:`repro.harness.batch`) into one in-process
+    :class:`~repro.kernel.batch.BatchSystem` and runs only the remainder
+    through the normal path — results stay in task order and are
+    byte-identical to an unbatched sweep.  Batching is skipped while
+    observability is enabled (fast lanes don't replay the interpreted
+    engine's telemetry).
     """
     task_list = list(tasks)
     if jobs is None:
         jobs = default_jobs()
     if _obs._ENABLED:
         _obs.metrics().inc("sweep.tasks", len(task_list))
+    if batch and not _obs._ENABLED and task_list:
+        from repro.harness.batch import execute_batched
+
+        results, unplanned = execute_batched(task_list)
+        if len(unplanned) < len(task_list):
+            if unplanned:
+                rest = run_sweep(
+                    [task_list[i] for i in unplanned],
+                    jobs=jobs,
+                    chunksize=chunksize,
+                )
+                for i, value in zip(unplanned, rest):
+                    results[i] = value
+            return results
+        # No task was plannable: fall through to the normal path.
     if jobs <= 1 or len(task_list) <= 1:
         return [task.run() for task in task_list]
     jobs = min(jobs, len(task_list))

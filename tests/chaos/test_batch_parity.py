@@ -1,0 +1,68 @@
+"""Batched fuzz loop parity: ``fuzz_config(batch=...)`` never changes reports.
+
+The batched loop draws cases *speculatively* in waves, so these tests pin
+the rewind protocol: whenever a consumed case grows the corpus (changing
+what the serial loop draws next) or ends the budget/quota, the remainder of
+the wave must be discarded and the draw rng rewound — making the consumed
+case sequence, and hence the whole report, bit-identical to the serial
+loop's.
+"""
+
+import pytest
+
+from repro import obs
+from repro.chaos.fuzzer import fuzz_config
+from repro.chaos.matrix import CONFIGS
+
+# (config, kwargs): budgets sized so each scenario exercises a distinct
+# exit path — budget exhaustion, max_cases, stop_on mid-wave — while
+# covering the generic (ct), specialized (naive-sigma-nu) and fallback
+# (anuc coroutine) lane tiers.
+SCENARIOS = [
+    ("ct-honest", dict(seed=0, budget=6000)),
+    ("ct-honest", dict(seed=3, budget=9000, max_cases=7)),
+    ("nuc-honest", dict(seed=1, budget=5000)),
+    (
+        "split-quorums",
+        dict(seed=0, budget=9000, stop_on="nonuniform agreement"),
+    ),
+    ("ct-paranoid", dict(seed=0, budget=6000, stop_on="termination")),
+]
+
+
+class TestBatchedFuzzParity:
+    @pytest.mark.parametrize("name,kwargs", SCENARIOS)
+    def test_batch_report_identical_to_serial(self, name, kwargs):
+        config = CONFIGS[name]
+        serial = fuzz_config(config, batch=False, **kwargs)
+        batched = fuzz_config(config, batch=True, **kwargs)
+        assert serial == batched
+
+    def test_default_batches_consensus_rows(self):
+        """``batch=None`` auto-batches consensus configs — same report."""
+        config = CONFIGS["ct-honest"]
+        assert fuzz_config(config, seed=0, budget=4000) == fuzz_config(
+            config, seed=0, budget=4000, batch=False
+        )
+
+    def test_register_rows_ignore_batch(self):
+        """Non-consensus kinds have no lane vocabulary; batch is a no-op."""
+        config = CONFIGS["register-honest"]
+        kwargs = dict(seed=0, budget=3000, max_cases=4)
+        assert fuzz_config(config, batch=True, **kwargs) == fuzz_config(
+            config, batch=False, **kwargs
+        )
+
+    def test_obs_enabled_forces_serial_path(self):
+        """With obs on, the traced serial body runs; reports still agree."""
+        config = CONFIGS["ct-honest"]
+        kwargs = dict(seed=2, budget=3000)
+        plain = fuzz_config(config, batch=False, **kwargs)
+        obs.enable(fresh_metrics=True)
+        try:
+            traced = fuzz_config(config, batch=True, **kwargs)
+            assert obs.metrics().snapshot()["counters"]["chaos.cases"] > 0
+        finally:
+            obs.disable()
+            obs.reset_metrics()
+        assert traced == plain

@@ -441,3 +441,31 @@ class TestRegistry:
 
         rule_codes = [rule.code for rule in all_rules()]
         assert rule_codes == sorted(rule_codes)
+
+
+class TestBatchModuleScope:
+    """The batched kernel and its lane planner sit inside the determinism
+    rules' scope: RPR101 is global, RPR102-RPR105 name them explicitly."""
+
+    BATCH_MODULES = ("repro.kernel.batch", "repro.harness.batch")
+
+    def test_determinism_rules_apply_to_batch_modules(self):
+        from repro.lint.registry import all_rules
+
+        determinism = [
+            r for r in all_rules() if r.code in
+            ("RPR101", "RPR102", "RPR103", "RPR104", "RPR105")
+        ]
+        assert len(determinism) == 5
+        for module in self.BATCH_MODULES:
+            for rule in determinism:
+                assert rule.applies_to(module), (rule.code, module)
+
+    def test_scoped_rule_fires_inside_batch_modules(self):
+        src = """
+        import time
+        t = time.time()
+        """
+        for module in self.BATCH_MODULES:
+            assert codes(src, module=module) == ["RPR102"]
+        assert codes(src, module=TESTS) == []
