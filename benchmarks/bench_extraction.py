@@ -76,6 +76,19 @@ def main(argv=None) -> int:
         default=os.path.join(REPO_ROOT, "BENCH_extraction.json"),
         metavar="FILE",
     )
+    parser.add_argument(
+        "--record-baseline",
+        action="store_true",
+        help="file the report on the result store's bench shelf "
+        "(store.put_bench('extraction', ...))",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="result store root for --record-baseline "
+        "(default: benchmarks/results/store)",
+    )
     args = parser.parse_args(argv)
 
     from repro.core.simtrie import TrieCounters, merge_counter_dicts
@@ -124,7 +137,7 @@ def main(argv=None) -> int:
         flush=True,
     )
 
-    from repro.obs.export import environment_stamp
+    from repro.harness.envinfo import environment_stamp
 
     report = {
         "schema": "bench-extraction/1",
@@ -153,6 +166,12 @@ def main(argv=None) -> int:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
+    if args.record_baseline:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store_dir)
+        path = store.put_bench("extraction", report)
+        print(f"recorded baseline {path}")
     if not all_equal:
         print("ERROR: trie and from-scratch outputs diverged", file=sys.stderr)
         return 1

@@ -15,9 +15,17 @@ Measures the run engine and the sweep driver and writes ``BENCH_kernel.json``
   ~1.0x or below — the driver exists for multi-core hosts, and correctness
   (bit-identical tables for every job count) is covered by the test suite;
 * a per-phase breakdown of one traced EXP-3 quick run (span aggregates and
-  deterministic work counters from :mod:`repro.obs`).
+  deterministic work counters from :mod:`repro.obs`);
+* with ``--store``, a cold-vs-warm comparison of one EXP-1 sweep through a
+  throwaway content-addressed result store (``repro.store``): warm wall
+  time, speedup, hit counts and whether the rendered tables were
+  byte-identical (the ``store`` section).
 
 ``--quick`` trims repeats and times only a sweep subset so CI stays fast.
+``--record-baseline`` files the finished report on the result store's
+bench shelf (``store.put_bench("kernel", ...)``), where
+``check_regression.py --store-baseline`` finds the most recent report for
+this environment.
 """
 
 from __future__ import annotations
@@ -251,6 +259,44 @@ def bench_phases() -> Dict[str, Any]:
     }
 
 
+def bench_store() -> Dict[str, Any]:
+    """Cold vs warm EXP-1 quick sweep through a throwaway result store.
+
+    The wall numbers are host-dependent; the deterministic facts —
+    warm run all hits, zero misses, byte-identical table — are what
+    ``tests/harness/test_store_sweep.py`` asserts and CI gates on.
+    """
+    import tempfile
+
+    from repro.harness import experiments
+    from repro.store import ResultStore
+
+    kwargs = dict(QUICK_OVERRIDES["exp1"])
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as root:
+        store = ResultStore(root)
+        start = time.perf_counter()
+        cold_table = experiments.exp1_nuc_sufficiency(
+            **kwargs, store=store
+        ).render()
+        cold = time.perf_counter() - start
+        store.stats.reset()
+        start = time.perf_counter()
+        warm_table = experiments.exp1_nuc_sufficiency(
+            **kwargs, store=store
+        ).render()
+        warm = time.perf_counter() - start
+        return {
+            "experiment": "exp1",
+            "tasks": store.stats.lookups,
+            "cold_s": round(cold, 3),
+            "warm_s": round(warm, 4),
+            "speedup": round(cold / warm, 1) if warm else None,
+            "warm_hits": store.stats.hits,
+            "warm_misses": store.stats.misses,
+            "byte_identical": warm_table == cold_table,
+        }
+
+
 def bench_parallel(jobs: int) -> Dict[str, Any]:
     from repro.harness import experiments
 
@@ -291,6 +337,25 @@ def main(argv=None) -> int:
         action="store_true",
         help="also measure the batched kernel (BatchSystem, "
         f"{BATCH_LANES} quorum-MR lanes) and emit the `batch` section",
+    )
+    parser.add_argument(
+        "--store",
+        action="store_true",
+        help="also measure a cold-vs-warm sweep through a throwaway "
+        "result store and emit the `store` section",
+    )
+    parser.add_argument(
+        "--record-baseline",
+        action="store_true",
+        help="file the report on the result store's bench shelf for "
+        "check_regression.py --store-baseline",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="result store root for --record-baseline "
+        "(default: benchmarks/results/store)",
     )
     parser.add_argument(
         "--output",
@@ -342,7 +407,18 @@ def main(argv=None) -> int:
             flush=True,
         )
 
-    from repro.obs.export import environment_stamp
+    store_section = None
+    if args.store:
+        print("result store cold vs warm (exp1) ...", flush=True)
+        store_section = bench_store()
+        print(
+            f"  cold {store_section['cold_s']}s, warm {store_section['warm_s']}s "
+            f"({store_section['speedup']}x), "
+            f"byte-identical: {store_section['byte_identical']}",
+            flush=True,
+        )
+
+    from repro.harness.envinfo import environment_stamp
 
     report = {
         "schema": "bench-kernel/2",
@@ -356,10 +432,18 @@ def main(argv=None) -> int:
     }
     if batch is not None:
         report["batch"] = batch
+    if store_section is not None:
+        report["store"] = store_section
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output}")
+    if args.record_baseline:
+        from repro.store import ResultStore
+
+        baseline_store = ResultStore(args.store_dir)
+        path = baseline_store.put_bench("kernel", report)
+        print(f"recorded baseline {path}")
     return 0
 
 

@@ -3,6 +3,7 @@
 
 Usage: PYTHONPATH=src python benchmarks/check_determinism.py
            [--exp NAME | --chaos] [--quick/--full] [--jobs N] [--verbose]
+           [--store]
 
 The static pass (``python -m repro lint``) proves the *patterns* that break
 determinism are absent; this script is its dynamic counterpart.  It executes
@@ -15,6 +16,12 @@ set-order leakage, cross-run cache contamination — fails with exit 1.
 With ``--jobs N`` (N > 1) the second run additionally exercises the
 parallel sweep driver, so the diff doubles as a serial-vs-parallel parity
 check.
+
+With ``--store`` both compared runs are routed through a throwaway
+content-addressed result store that a cold run prepopulates first: the
+check then also proves that warm (all-hits) sweeps render the same bytes
+and obs counters as each other regardless of job count, and that no row
+was silently re-executed.
 
 CI runs the quick parameterization; it completes in well under a minute.
 """
@@ -59,7 +66,7 @@ def _canonical_counters(snapshot: dict) -> str:
     return repr(triples)
 
 
-def run_once(exp: str, quick: bool, jobs: int) -> dict:
+def run_once(exp: str, quick: bool, jobs: int, store=None) -> dict:
     """One full experiment run; returns digests of everything observable."""
     from repro import obs
     from repro.detectors.base import clear_history_cache
@@ -68,6 +75,8 @@ def run_once(exp: str, quick: bool, jobs: int) -> dict:
     runner = getattr(experiments, f"{exp}_{_SUFFIXES[exp]}")
     kwargs = dict(QUICK_OVERRIDES.get(exp, {})) if quick else {}
     kwargs["jobs"] = jobs
+    if store is not None:
+        kwargs["store"] = store
 
     # Fresh cross-run state: the point is to prove a rerun reproduces the
     # first run from nothing but (parameters, seeds).
@@ -177,14 +186,39 @@ def main(argv=None) -> int:
         help="diff the chaos fuzzing matrix instead of an experiment sweep "
         "(quick: three rows, capped budget; full: the whole matrix)",
     )
+    parser.add_argument(
+        "--store",
+        action="store_true",
+        help="route both compared runs through a prepopulated throwaway "
+        "result store: a cold run fills it first, then the serial and "
+        "jobs=N runs must both be all-hits AND digest-identical",
+    )
     args = parser.parse_args(argv)
+
+    if args.store and args.chaos:
+        print("error: --store applies to experiment sweeps, not --chaos",
+              file=sys.stderr)
+        return 2
 
     quick = not args.full
     label = "chaos matrix" if args.chaos else args.exp
+    store = None
+    store_ctx = None
+    if args.store:
+        import tempfile
+
+        from repro.store import ResultStore
+
+        store_ctx = tempfile.TemporaryDirectory(prefix="repro-determ-store-")
+        store = ResultStore(store_ctx.name)
+        print(f"prepopulating result store (cold {args.exp} run) ...",
+              flush=True)
+        run_once(args.exp, quick, 1, store=store)
+        store.stats.reset()
     once = (
         (lambda jobs: run_chaos_once(quick, jobs))
         if args.chaos
-        else (lambda jobs: run_once(args.exp, quick, jobs))
+        else (lambda jobs: run_once(args.exp, quick, jobs, store=store))
     )
     print(
         f"run 1/2: {label} ({'quick' if quick else 'full'}, serial) ...",
@@ -206,6 +240,16 @@ def main(argv=None) -> int:
             f"[{'ok' if match else 'MISMATCH'}]"
         )
         ok = ok and match
+
+    if store is not None:
+        cold_rows = store.stats.misses + store.stats.invalidated
+        warm_ok = cold_rows == 0 and store.stats.hits > 0
+        print(
+            f"store   : {store.stats.hits} hit(s), {cold_rows} re-executed "
+            f"across both warm runs [{'ok' if warm_ok else 'MISMATCH'}]"
+        )
+        ok = ok and warm_ok
+        store_ctx.cleanup()
 
     if not ok:
         print(

@@ -14,6 +14,14 @@ throughput must not fall below the serial engine measured in the same run
 (speedup >= 1), and must not drop more than ``--threshold`` percent below
 the committed baseline's batch throughput.
 
+``--store-baseline`` compares against the most recent report on the result
+store's bench shelf (``benchmarks/results/store/bench/kernel/...``) for
+*this* environment digest — same python, platform and CPU count — instead
+of the committed file, so a fast dev box is never judged against CI
+hardware.  Record shelf baselines with ``bench_report.py
+--record-baseline``; when the shelf has no entry for this environment the
+check falls back to ``--baseline`` with a notice.
+
 ``--chaos`` switches to the *semantic* regression gate instead: it runs the
 quick chaos injection-matrix rows (see ``repro.chaos.matrix``) and fails if
 any row stops being exact — an injector no longer finds its declared
@@ -104,6 +112,20 @@ def main(argv=None) -> int:
         help="max allowed throughput drop in percent (default 25)",
     )
     parser.add_argument(
+        "--store-baseline",
+        action="store_true",
+        help="take the baseline from the result store's bench shelf "
+        "(latest kernel report for this environment digest); falls back "
+        "to --baseline if the shelf has none",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="result store root for --store-baseline "
+        "(default: benchmarks/results/store)",
+    )
+    parser.add_argument(
         "--chaos",
         action="store_true",
         help="run the quick chaos-matrix rows and fail on inexact verdicts "
@@ -130,8 +152,26 @@ def main(argv=None) -> int:
     if args.new is None:
         parser.error("a fresh BENCH_kernel.json is required without --chaos")
 
-    with open(args.baseline) as fh:
-        baseline = json.load(fh)
+    baseline = None
+    if args.store_baseline:
+        sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+        from repro.harness.envinfo import environment_digest
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store_dir)
+        env = environment_digest()
+        found = store.latest_bench("kernel", env)
+        if found is not None:
+            path, baseline = found
+            print(f"baseline: bench shelf kernel/{env}/{os.path.basename(path)}")
+        else:
+            print(
+                f"baseline: shelf has no kernel report for environment "
+                f"{env}; falling back to {args.baseline}"
+            )
+    if baseline is None:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
     with open(args.new) as fh:
         new = json.load(fh)
 

@@ -7,6 +7,10 @@ Commands
                    system and print decisions, verdicts and optionally a
                    step transcript
 ``experiment``     run one of the EXP-1..EXP-9 sweeps and print its table
+``sweep``          run a declarative TOML/CSV sweep spec through the
+                   content-addressed result store (only moved rows execute)
+``store``          inspect/maintain the result store: ``ls``, ``gc``,
+                   ``diff SPEC`` (what a sweep would re-run right now)
 ``contamination``  play the Section 6.3 scenario against naive / A_nuc
 ``adversary``      run the Theorem 7.1 partition adversary for (n, t)
 ``extract``        run the necessity transformation T_{D -> Σν} and report
@@ -129,9 +133,19 @@ def cmd_experiment(args) -> int:
     runner = runners[args.name]
     kwargs = dict(quick_overrides[args.name]) if args.quick else {}
     kwargs["jobs"] = args.jobs
+    store = None
+    if args.store:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store_dir)
+        kwargs["store"] = store
     with _maybe_traced(args, f"experiment:{args.name}"):
         table = runner(**kwargs)
     print(table.render())
+    if store is not None:
+        from repro.store.cli import _stats_line
+
+        print(_stats_line(store))
     return 0
 
 
@@ -417,7 +431,112 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a repro-trace/1 JSONL trace of the sweep "
         "(inspect with 'repro trace FILE')",
     )
+    experiment.add_argument(
+        "--store",
+        action="store_true",
+        help="serve unchanged rows from the content-addressed result store "
+        "(benchmarks/results/store; see docs/sweeps.md)",
+    )
+    experiment.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="result store root (default: benchmarks/results/store)",
+    )
     experiment.set_defaults(func=cmd_experiment)
+
+    from repro.store.cli import cmd_store, cmd_sweep
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative TOML/CSV sweep spec through the result store",
+    )
+    sweep.add_argument("spec", help="sweep spec file (.toml or .csv)")
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = serial; tables identical for "
+        "every N)",
+    )
+    sweep.add_argument(
+        "--batch",
+        action="store_true",
+        help="pack plannable tasks into the batched kernel (BatchSystem)",
+    )
+    sweep.add_argument(
+        "--no-store",
+        action="store_true",
+        help="execute every row; do not read or write the result store",
+    )
+    sweep.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="result store root (default: benchmarks/results/store)",
+    )
+    sweep.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the rendered table(s) to FILE (byte-comparable "
+        "across warm/cold runs)",
+    )
+    sweep.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="FILE",
+        help="write hit/miss/invalidated counts and the table digest as JSON",
+    )
+    sweep.add_argument(
+        "--require-warm",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="exit 1 unless the store hit rate reached RATE (e.g. 0.95; "
+        "the CI warm-cache gate)",
+    )
+    sweep.set_defaults(func=cmd_sweep)
+
+    store = sub.add_parser(
+        "store", help="inspect/maintain the content-addressed result store"
+    )
+    store.add_argument(
+        "action",
+        choices=["ls", "gc", "diff"],
+        help="ls: list records; gc: collect stale records; diff: what a "
+        "spec's sweep would re-run right now",
+    )
+    store.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="sweep spec file (required for 'diff')",
+    )
+    store.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="result store root (default: benchmarks/results/store)",
+    )
+    store.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    store.add_argument(
+        "--all",
+        action="store_true",
+        help="gc: remove every object record, not just stale ones",
+    )
+    store.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="gc: report what would be removed without deleting",
+    )
+    store.add_argument(
+        "--verbose", action="store_true", help="gc: list removed records"
+    )
+    store.set_defaults(func=cmd_store)
 
     contamination = sub.add_parser(
         "contamination", help="the Section 6.3 scenario"

@@ -1,0 +1,81 @@
+"""Environment attribution: one stamp format for every durable artifact.
+
+``BENCH_kernel.json``, ``BENCH_extraction.json``, exported traces and every
+:mod:`repro.store` record header carry the same environment stamp — git SHA,
+python version, platform and CPU counts — enough to pin a number to a commit
+and a machine.  This module is the single owner of that format (it used to
+be duplicated between the two benchmark scripts via ``repro.obs.export``).
+
+:func:`environment_digest` reduces the stamp to the *machine* identity
+(python + platform + CPU count, deliberately excluding the git SHA and the
+CPU affinity mask), which is how the store shelves benchmark baselines:
+"the most recent report from this same environment" is a lookup by digest,
+regardless of which commit produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import platform
+import subprocess
+from typing import Any, Dict, Optional
+
+_STAMP_CACHE: Dict[Optional[str], Dict[str, Any]] = {}
+
+
+def environment_stamp(repo_root: Optional[str] = None) -> Dict[str, Any]:
+    """Attribution metadata for benchmark/trace/store files.
+
+    Git SHA (``None`` outside a work tree), python version, platform and
+    CPU counts.  Cached per ``repo_root`` so store writes don't shell out
+    to git once per record; call :func:`clear_stamp_cache` if the HEAD
+    moves mid-process (tests do).
+    """
+    cached = _STAMP_CACHE.get(repo_root)
+    if cached is not None:
+        return dict(cached)
+    try:
+        sha: Optional[str] = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root or os.getcwd(),
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        sha = None
+    try:
+        affinity: Optional[int] = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        affinity = None
+    stamp = {
+        "git_sha": sha,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "cpu_affinity": affinity,
+    }
+    _STAMP_CACHE[repo_root] = stamp
+    return dict(stamp)
+
+
+def environment_digest(stamp: Optional[Dict[str, Any]] = None) -> str:
+    """A short hex id of the *machine* environment (commit-independent).
+
+    Two reports share a digest iff they came from the same python version,
+    platform string and CPU count — the fields that make wall-clock numbers
+    comparable.  Git SHA and the affinity mask are excluded on purpose:
+    baselines are compared *across* commits, and the affinity mask moves
+    with container scheduling noise.
+    """
+    stamp = stamp if stamp is not None else environment_stamp()
+    text = "|".join(
+        repr(stamp.get(field)) for field in ("python", "platform", "cpu_count")
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def clear_stamp_cache() -> None:
+    _STAMP_CACHE.clear()

@@ -52,13 +52,17 @@ from repro import obs as _obs
 
 
 def _sweep(
-    name: str, tasks: List[SweepTask], jobs: int, batch: bool = False
+    name: str,
+    tasks: List[SweepTask],
+    jobs: int,
+    batch: bool = False,
+    store: Any = None,
 ) -> List[Any]:
     """Dispatch an experiment's tasks under an ``exp.<name>`` span."""
     if not _obs._ENABLED:
-        return run_sweep(tasks, jobs=jobs, batch=batch)
+        return run_sweep(tasks, jobs=jobs, batch=batch, store=store)
     with _obs.tracer().span(f"exp.{name}", tasks=len(tasks), jobs=jobs):
-        return run_sweep(tasks, jobs=jobs, batch=batch)
+        return run_sweep(tasks, jobs=jobs, batch=batch, store=store)
 
 
 def exp1_nuc_sufficiency(
@@ -67,6 +71,7 @@ def exp1_nuc_sufficiency(
     max_steps: int = 30000,
     include_stack: bool = True,
     jobs: int = 1,
+    store: Any = None,
 ) -> Table:
     """EXP-1 (Thms 6.27/6.28): A_nuc and the full stack solve nonuniform
     consensus in any environment, including minority-correct ones."""
@@ -121,7 +126,7 @@ def exp1_nuc_sufficiency(
                     )
                 )
             groups.append(("stack", n, len(seeds)))
-    results = _sweep("exp1", tasks, jobs)
+    results = _sweep("exp1", tasks, jobs, store=store)
     cursor = 0
     for algo, n, count in groups:
         outcomes = results[cursor : cursor + count]
@@ -152,6 +157,7 @@ def exp2_boosting(
     seeds: Sequence[int] = tuple(range(5)),
     faulty_styles: Sequence[str] = ("selfish", "junk", "obedient"),
     jobs: int = 1,
+    store: Any = None,
 ) -> Table:
     """EXP-2 (Thm 6.7): the booster's output satisfies all four Sigma^nu+
     properties in any environment."""
@@ -178,7 +184,7 @@ def exp2_boosting(
                     )
                 )
             groups.append((n, style))
-    results = _sweep("exp2", tasks, jobs)
+    results = _sweep("exp2", tasks, jobs, store=store)
     cursor = 0
     for n, style in groups:
         outcomes = results[cursor : cursor + len(seeds)]
@@ -233,6 +239,7 @@ def exp3_extraction(
     seeds: Sequence[int] = tuple(range(3)),
     jobs: int = 1,
     use_trie: bool = True,
+    store: Any = None,
 ) -> Table:
     """EXP-3 (Thms 5.4/5.8): T_{D -> Sigma^nu} over several (D, A) pairs.
 
@@ -274,7 +281,7 @@ def exp3_extraction(
                     )
                 )
             groups.append((label, n))
-    results = _sweep("exp3", tasks, jobs)
+    results = _sweep("exp3", tasks, jobs, store=store)
     cursor = 0
     for label, n in groups:
         outcomes = results[cursor : cursor + len(seeds)]
@@ -309,6 +316,7 @@ def exp4_separation(
     cases: Sequence[Tuple[int, int]] = ((2, 1), (4, 2), (5, 3), (6, 3), (3, 1), (5, 2)),
     seeds: Sequence[int] = (0, 1),
     jobs: int = 1,
+    store: Any = None,
 ) -> Table:
     """EXP-4 (Thm 7.1): (Omega, Sigma^nu) vs (Omega, Sigma) by environment.
 
@@ -350,7 +358,7 @@ def exp4_separation(
                     SweepTask(_exp4_adversary_task, dict(n=n, t=t, seed=seed))
                 )
         groups.append((n, t, majority))
-    results = _sweep("exp4", tasks, jobs)
+    results = _sweep("exp4", tasks, jobs, store=store)
     cursor = 0
     for n, t, majority in groups:
         outcomes = results[cursor : cursor + len(seeds)]
@@ -374,7 +382,9 @@ def exp4_separation(
     return table
 
 
-def exp5_contamination(seeds: Sequence[int] = (0, 1, 2), jobs: int = 1) -> Table:
+def exp5_contamination(
+    seeds: Sequence[int] = (0, 1, 2), jobs: int = 1, store: Any = None
+) -> Table:
     """EXP-5 (Section 6.3): the naive Sigma^nu quorum algorithm is
     contaminable; A_nuc is not, under the same scenario family."""
     table = Table(
@@ -393,7 +403,7 @@ def exp5_contamination(seeds: Sequence[int] = (0, 1, 2), jobs: int = 1) -> Table
         for algorithm in ("naive", "anuc")
         for seed in seeds
     ]
-    results = _sweep("exp5", tasks, jobs)
+    results = _sweep("exp5", tasks, jobs, store=store)
     for task, report in zip(tasks, results):
         correct_decisions = {
             p: v for p, v in report.decisions.items() if p in (0, 1)
@@ -417,6 +427,7 @@ def exp6_merging(
     seeds: Sequence[int] = tuple(range(10)),
     n: int = 5,
     jobs: int = 1,
+    store: Any = None,
 ) -> Table:
     """EXP-6 (Lemma 2.2): merged mergeable runs are runs, and participants'
     final states are preserved."""
@@ -430,7 +441,7 @@ def exp6_merging(
         SweepTask(random_mergeable_pair_report, dict(n=n, seed=seed))
         for seed in seeds
     ]
-    results = _sweep("exp6", tasks, jobs)
+    results = _sweep("exp6", tasks, jobs, store=store)
     for seed, report in zip(seeds, results):
         table.add_row(
             seed,
@@ -504,6 +515,7 @@ def exp7_scaling(
     seeds: Sequence[int] = (0, 1, 2),
     jobs: int = 1,
     batch: bool = True,
+    store: Any = None,
 ) -> Table:
     """EXP-7 (cost profile): steps and messages to decision for A_nuc vs the
     MR baselines, and booster output cadence, as n grows."""
@@ -538,7 +550,7 @@ def exp7_scaling(
                     )
                 )
             groups.append((algo, n))
-    results = _sweep("exp7", tasks, jobs, batch=batch)
+    results = _sweep("exp7", tasks, jobs, batch=batch, store=store)
     cursor = 0
     for label, n in groups:
         outcomes = results[cursor : cursor + len(seeds)]
@@ -564,6 +576,7 @@ def exp8_exhaustive(
     seeds: Sequence[int] = (0, 1),
     max_steps: int = 40000,
     jobs: int = 1,
+    store: Any = None,
 ) -> Table:
     """EXP-8: exhaustive environment coverage at small n.
 
@@ -612,7 +625,7 @@ def exp8_exhaustive(
                 )
                 count += 1
         groups.append((members, len(patterns), count))
-    results = _sweep("exp8", tasks, jobs)
+    results = _sweep("exp8", tasks, jobs, store=store)
     cursor = 0
     for members, pattern_count, count in groups:
         outcomes = results[cursor : cursor + count]
@@ -662,6 +675,7 @@ def _decision_rounds(outcome) -> List[int]:
 def exp9_registers(
     seeds: Sequence[int] = (0, 1, 2),
     jobs: int = 1,
+    store: Any = None,
 ) -> Table:
     """EXP-9 (paper intro / [3]'s technique): registers need Sigma.
 
@@ -671,8 +685,9 @@ def exp9_registers(
     the executable reason the uniform proof route cannot carry the
     nonuniform result.
 
-    The scenario arms are three tiny interactive runs; ``jobs`` is accepted
-    for CLI uniformity but the sweep always executes inline.
+    The scenario arms are three tiny interactive runs; ``jobs`` and
+    ``store`` are accepted for CLI/spec uniformity but the sweep always
+    executes inline and is never served from the store.
     """
     import random as _random
 

@@ -83,6 +83,7 @@ def run_sweep(
     jobs: Optional[int] = 1,
     chunksize: Optional[int] = None,
     batch: bool = False,
+    store: Optional[Any] = None,
 ) -> List[Any]:
     """Execute ``tasks`` with ``jobs`` workers; results in task order.
 
@@ -98,10 +99,24 @@ def run_sweep(
     byte-identical to an unbatched sweep.  Batching is skipped while
     observability is enabled (fast lanes don't replay the interpreted
     engine's telemetry).
+
+    ``store`` (a :class:`repro.store.ResultStore`) makes the sweep
+    incremental: each task is addressed by ``(config_digest,
+    code_signature)``; rows already in the store are served from disk and
+    only the remainder executes — through exactly the same jobs/batch path,
+    so a warm sweep is byte-identical to a cold one.  All store lookups and
+    writes happen in *this* process (workers never touch the store), which
+    keeps the ``store.hit`` / ``store.miss`` / ``store.invalidated``
+    counters identical for every ``jobs`` value and makes concurrent
+    ``--jobs N`` sweeps merge-safe.
     """
     task_list = list(tasks)
     if jobs is None:
         jobs = default_jobs()
+    if store is not None and task_list:
+        # Before the sweep.tasks inc: rows served from the store are not
+        # dispatched, and the recursive miss dispatch counts its own.
+        return _run_sweep_stored(task_list, jobs, chunksize, batch, store)
     if _obs._ENABLED:
         _obs.metrics().inc("sweep.tasks", len(task_list))
     if batch and not _obs._ENABLED and task_list:
@@ -138,3 +153,59 @@ def run_sweep(
         return [result for result, _ in pairs]
     with _pool_context().Pool(processes=jobs) as pool:
         return pool.map(_execute, task_list, chunksize=chunksize)
+
+
+def _run_sweep_stored(
+    task_list: List[SweepTask],
+    jobs: Optional[int],
+    chunksize: Optional[int],
+    batch: bool,
+    store: Any,
+) -> List[Any]:
+    """The store-backed path of :func:`run_sweep`.
+
+    Lookups, accounting and writes run in the parent; misses (plus
+    invalidated and unstorable rows) are re-dispatched through the plain
+    ``run_sweep`` path with the same jobs/batch settings.
+    """
+    keys = [store.key_for(task.fn, task.kwargs) for task in task_list]
+    results: List[Any] = [None] * len(task_list)
+    pending: List[int] = []
+    hits = misses = invalidated = skipped = 0
+    for i, (task, key) in enumerate(zip(task_list, keys)):
+        if key is None:
+            skipped += 1
+            store.stats.skipped += 1
+            pending.append(i)
+            continue
+        status, value = store.load(key)
+        if status == "hit":
+            hits += 1
+            results[i] = value
+        else:
+            if status == "invalidated":
+                invalidated += 1
+            else:
+                misses += 1
+            pending.append(i)
+    if _obs._ENABLED:
+        registry = _obs.metrics()
+        registry.inc("store.hit", hits)
+        registry.inc("store.miss", misses)
+        registry.inc("store.invalidated", invalidated)
+        registry.inc("store.skipped", skipped)
+    if pending:
+        fresh = run_sweep(
+            [task_list[i] for i in pending],
+            jobs=jobs,
+            chunksize=chunksize,
+            batch=batch,
+        )
+        writes = 0
+        for i, value in zip(pending, fresh):
+            results[i] = value
+            if keys[i] is not None and store.store(keys[i], value):
+                writes += 1
+        if _obs._ENABLED:
+            _obs.metrics().inc("store.write", writes)
+    return results

@@ -20,9 +20,6 @@ standalone validator CI runs against emitted traces.
 from __future__ import annotations
 
 import json
-import os
-import platform
-import subprocess
 import time
 from typing import Any, Dict, List, Optional
 
@@ -181,28 +178,12 @@ def _check_event(record, where, span_sids, seen_sids) -> List[str]:
 def environment_stamp(repo_root: Optional[str] = None) -> Dict[str, Any]:
     """Attribution metadata for benchmark/trace files.
 
-    Git SHA (``None`` outside a work tree), python version, platform and
-    CPU counts — enough to pin a perf number to a commit and a machine.
+    Moved to :func:`repro.harness.envinfo.environment_stamp` (the store,
+    the benchmarks and this module share one format); this wrapper stays
+    for existing import sites.  Imported lazily to keep ``repro.obs``
+    import-light — pulling the harness package in eagerly would drag the
+    whole experiment layer into every traced run.
     """
-    try:
-        sha: Optional[str] = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            cwd=repo_root or os.getcwd(),
-            capture_output=True,
-            text=True,
-            timeout=10,
-            check=True,
-        ).stdout.strip()
-    except Exception:
-        sha = None
-    try:
-        affinity: Optional[int] = len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        affinity = None
-    return {
-        "git_sha": sha,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "cpu_count": os.cpu_count(),
-        "cpu_affinity": affinity,
-    }
+    from repro.harness.envinfo import environment_stamp as _stamp
+
+    return _stamp(repo_root)

@@ -1,0 +1,218 @@
+"""Code signatures: hash the source a task transitively depends on.
+
+A stored result is only reusable while the code that produced it is
+unchanged.  Tracking that at commit granularity (git SHA) would invalidate
+every row on every commit; instead we reuse the simtrie/PR-2 idea — skip
+work whose *inputs* are provably unchanged — at sweep granularity: the
+signature of a task is a SHA-256 over the sources of every first-party
+module its function transitively imports.
+
+The import closure is computed *statically* (``ast`` walk over each
+module's source, including imports inside function bodies, which is where
+the worker-side runners do theirs) and restricted to registered root
+packages (``repro`` by default; tests register temporary packages).  Parent
+packages ride along — their ``__init__`` runs at import time and can change
+behaviour.  Third-party and stdlib imports are deliberately outside the
+signature: the environment stamp on each record covers those.
+
+Granularity is the module closure of the task *function's module*: editing
+any module a task's code can reach re-executes its rows; editing a module
+it cannot reach does not.  Tasks defined in modules outside every
+registered root have no signature (``None``) and are never stored.
+
+File hashes are cached per ``(mtime_ns, size)`` so a 10,000-row sweep pays
+for each source file once, while an edit mid-process is still noticed.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+SIGNATURE_SCHEMA = "repro-codesig/1"
+
+
+class ModuleSignatureIndex:
+    """Source hashes and static import closures for a set of root packages.
+
+    ``roots`` maps a top-level package name to the directory *containing*
+    it (so ``{"repro": ".../src"}`` resolves ``repro.kernel.system`` to
+    ``.../src/repro/kernel/system.py``).  The default root is the installed
+    ``repro`` package.
+    """
+
+    def __init__(self, roots: Optional[Mapping[str, str]] = None):
+        if roots is None:
+            import repro
+
+            package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+            roots = {"repro": os.path.dirname(package_dir)}
+        self._roots: Dict[str, str] = {
+            name: os.path.abspath(path) for name, path in roots.items()
+        }
+        # path -> ((mtime_ns, size), source_sha, deps)
+        self._file_cache: Dict[str, Tuple[Tuple[int, int], str, FrozenSet[str]]] = {}
+
+    # ------------------------------------------------------------------
+    # Module resolution
+    # ------------------------------------------------------------------
+
+    def roots(self) -> Dict[str, str]:
+        return dict(self._roots)
+
+    def add_root(self, package: str, containing_dir: str) -> None:
+        self._roots[package] = os.path.abspath(containing_dir)
+
+    def module_path(self, modname: str) -> Optional[str]:
+        """The source file of ``modname``, or ``None`` if outside the roots."""
+        top = modname.split(".", 1)[0]
+        root = self._roots.get(top)
+        if root is None:
+            return None
+        base = os.path.join(root, *modname.split("."))
+        for candidate in (base + ".py", os.path.join(base, "__init__.py")):
+            if os.path.isfile(candidate):
+                return candidate
+        return None
+
+    def _ancestors(self, modname: str) -> Iterable[str]:
+        parts = modname.split(".")
+        for i in range(1, len(parts)):
+            yield ".".join(parts[:i])
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+
+    def _scan(self, modname: str, path: str) -> Tuple[str, FrozenSet[str]]:
+        """``(source sha, resolvable static imports)`` of one module file."""
+        stat = os.stat(path)
+        token = (stat.st_mtime_ns, stat.st_size)
+        cached = self._file_cache.get(path)
+        if cached is not None and cached[0] == token:
+            return cached[1], cached[2]
+        with open(path, "rb") as fh:
+            source = fh.read()
+        sha = hashlib.sha256(source).hexdigest()
+        deps: Set[str] = set()
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            tree = None
+        if tree is not None:
+            is_package = os.path.basename(path) == "__init__.py"
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        self._note(deps, alias.name)
+                elif isinstance(node, ast.ImportFrom):
+                    base = self._from_base(modname, is_package, node)
+                    if base is None:
+                        continue
+                    self._note(deps, base)
+                    for alias in node.names:
+                        if alias.name != "*":
+                            self._note(deps, f"{base}.{alias.name}")
+        result = (sha, frozenset(deps))
+        self._file_cache[path] = (token, sha, result[1])
+        return result
+
+    def _from_base(
+        self, modname: str, is_package: bool, node: ast.ImportFrom
+    ) -> Optional[str]:
+        """The absolute module a ``from ... import`` statement targets."""
+        if not node.level:
+            return node.module
+        # Relative import: level 1 is the current package.
+        parts = modname.split(".") if is_package else modname.split(".")[:-1]
+        strip = node.level - 1
+        if strip:
+            if strip >= len(parts):
+                return None
+            parts = parts[: len(parts) - strip]
+        if not parts:
+            return None
+        base = ".".join(parts)
+        return f"{base}.{node.module}" if node.module else base
+
+    def _note(self, deps: Set[str], modname: str) -> None:
+        """Record ``modname`` (and its ancestor packages) if it resolves."""
+        if self.module_path(modname) is not None:
+            deps.add(modname)
+            for ancestor in self._ancestors(modname):
+                if self.module_path(ancestor) is not None:
+                    deps.add(ancestor)
+        else:
+            # ``from pkg.mod import name`` where name is not a module:
+            # pkg.mod itself was noted by the caller; nothing to add here.
+            pass
+
+    # ------------------------------------------------------------------
+    # Closures and signatures
+    # ------------------------------------------------------------------
+
+    def closure(self, modname: str) -> FrozenSet[str]:
+        """``modname`` plus every root-package module it can reach."""
+        start = self.module_path(modname)
+        if start is None:
+            return frozenset()
+        seen: Set[str] = set()
+        frontier: List[str] = [modname]
+        for ancestor in self._ancestors(modname):
+            if self.module_path(ancestor) is not None:
+                frontier.append(ancestor)
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            path = self.module_path(current)
+            if path is None:
+                continue
+            _, deps = self._scan(current, path)
+            frontier.extend(dep for dep in deps if dep not in seen)
+        return frozenset(seen)
+
+    def signature(self, modname: str) -> Optional[str]:
+        """SHA-256 over the sorted (module, source sha) pairs of the closure.
+
+        ``None`` when ``modname`` lives outside every registered root — the
+        caller must then treat the task as unstorable.
+        """
+        if self.module_path(modname) is None:
+            return None
+        digest = hashlib.sha256(SIGNATURE_SCHEMA.encode("utf-8"))
+        for module in sorted(self.closure(modname)):
+            path = self.module_path(module)
+            if path is None:  # pragma: no cover - raced file removal
+                continue
+            sha, _ = self._scan(module, path)
+            digest.update(b"\x00")
+            digest.update(module.encode("utf-8"))
+            digest.update(b"\x01")
+            digest.update(sha.encode("utf-8"))
+        return digest.hexdigest()
+
+    def refresh(self) -> None:
+        """Drop all file caches (tests that rewrite sources mid-run)."""
+        self._file_cache.clear()
+
+
+_DEFAULT_INDEX: Optional[ModuleSignatureIndex] = None
+
+
+def default_index() -> ModuleSignatureIndex:
+    """The process-wide index over the installed ``repro`` package."""
+    global _DEFAULT_INDEX
+    if _DEFAULT_INDEX is None:
+        _DEFAULT_INDEX = ModuleSignatureIndex()
+    return _DEFAULT_INDEX
+
+
+def code_signature(
+    fn: Callable[..., object], index: Optional[ModuleSignatureIndex] = None
+) -> Optional[str]:
+    """The code signature of a task function (see module docstring)."""
+    return (index or default_index()).signature(fn.__module__)

@@ -1,0 +1,302 @@
+"""Store-backed sweeps: the re-run-only-what-moved contract.
+
+The acceptance properties of the result store, end to end through
+``run_sweep``:
+
+* a warm sweep returns byte-identical results to the cold sweep that
+  filled the store, for every ``jobs`` value;
+* editing one module re-executes exactly the rows whose task functions
+  depend on it — untouched rows keep hitting;
+* store obs counters are identical for serial and parallel warm runs;
+* unstorable rows execute every time but never poison results.
+"""
+
+import importlib
+import sys
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro import obs
+from repro.harness.parallel import SweepTask, run_sweep
+from repro.store import ResultStore
+from repro.store.signature import ModuleSignatureIndex
+
+ALPHA_V1 = '''
+def alpha_task(seed, log):
+    with open(log, "a") as fh:
+        fh.write(f"alpha:{seed}\\n")
+    return ("alpha-v1", seed)
+'''
+
+ALPHA_V2 = '''
+def alpha_task(seed, log):
+    with open(log, "a") as fh:
+        fh.write(f"alpha:{seed}\\n")
+    return ("alpha-v2", seed)
+'''
+
+BETA_V1 = '''
+def beta_task(seed, log):
+    with open(log, "a") as fh:
+        fh.write(f"beta:{seed}\\n")
+    return ("beta-v1", seed)
+'''
+
+HEAVY = '''
+def heavy_task(seed):
+    total = 0
+    for i in range(60000):
+        total = (total + (seed + i) * 31) % 1000003
+    return total
+'''
+
+_MODULES = ("sweeppkg", "sweeppkg.alpha", "sweeppkg.beta", "sweeppkg.heavy")
+
+
+@pytest.fixture
+def fakepkg(tmp_path, monkeypatch):
+    """A throwaway importable package whose sources the tests can edit."""
+    pkg_dir = tmp_path / "sweeppkg"
+    pkg_dir.mkdir()
+    (pkg_dir / "__init__.py").write_text("")
+    (pkg_dir / "alpha.py").write_text(ALPHA_V1)
+    (pkg_dir / "beta.py").write_text(BETA_V1)
+    (pkg_dir / "heavy.py").write_text(HEAVY)
+    monkeypatch.syspath_prepend(str(tmp_path))
+    for name in _MODULES:
+        sys.modules.pop(name, None)
+    ns = SimpleNamespace(
+        dir=pkg_dir,
+        root=str(tmp_path),
+        alpha=importlib.import_module("sweeppkg.alpha"),
+        beta=importlib.import_module("sweeppkg.beta"),
+        heavy=importlib.import_module("sweeppkg.heavy"),
+    )
+    yield ns
+    for name in _MODULES:
+        sys.modules.pop(name, None)
+
+
+def pkg_store(fakepkg, tmp_path) -> ResultStore:
+    return ResultStore(
+        str(tmp_path / "store"),
+        index=ModuleSignatureIndex({"sweeppkg": fakepkg.root}),
+    )
+
+
+def mixed_tasks(fakepkg, log, seeds=range(4)):
+    """Fresh task list bound to the *currently imported* module objects."""
+    return [
+        SweepTask(fakepkg.alpha.alpha_task, {"seed": s, "log": log})
+        for s in seeds
+    ] + [
+        SweepTask(fakepkg.beta.beta_task, {"seed": s, "log": log})
+        for s in seeds
+    ]
+
+
+def executions(log_path):
+    try:
+        return log_path.read_text().splitlines()
+    except FileNotFoundError:
+        return []
+
+
+# ----------------------------------------------------------------------
+# Warm == cold
+# ----------------------------------------------------------------------
+
+
+def test_warm_sweep_identical_and_executes_nothing(fakepkg, tmp_path):
+    store = pkg_store(fakepkg, tmp_path)
+    log = tmp_path / "runs.log"
+    cold = run_sweep(mixed_tasks(fakepkg, str(log)), store=store)
+    assert len(executions(log)) == 8
+    assert store.stats.misses == 8 and store.stats.writes == 8
+
+    log.unlink()
+    warm = run_sweep(mixed_tasks(fakepkg, str(log)), store=store)
+    assert warm == cold
+    assert executions(log) == []  # nothing re-executed
+    assert store.stats.hits == 8
+
+
+def test_warm_parallel_equals_cold_serial(fakepkg, tmp_path):
+    store = pkg_store(fakepkg, tmp_path)
+    log = tmp_path / "runs.log"
+    cold = run_sweep(mixed_tasks(fakepkg, str(log)), jobs=1, store=store)
+    warm = run_sweep(mixed_tasks(fakepkg, str(log)), jobs=2, store=store)
+    assert warm == cold
+
+
+def test_experiment_table_byte_identical_warm(tmp_path):
+    from repro.harness.experiments import exp6_merging
+
+    store = ResultStore(str(tmp_path / "store"))
+    cold = exp6_merging(seeds=range(3), store=store).render()
+    warm = exp6_merging(seeds=range(3), store=store).render()
+    assert warm == cold
+    assert store.stats.hits == 3 and store.stats.misses == 3
+
+
+# ----------------------------------------------------------------------
+# The tentpole property: only moved rows re-execute
+# ----------------------------------------------------------------------
+
+
+def test_editing_one_module_reexecutes_only_its_rows(fakepkg, tmp_path):
+    store = pkg_store(fakepkg, tmp_path)
+    log = tmp_path / "runs.log"
+    cold = run_sweep(mixed_tasks(fakepkg, str(log)), store=store)
+    assert cold[:4] == [("alpha-v1", s) for s in range(4)]
+
+    # Touch alpha only; rebind tasks to the reloaded module.
+    (fakepkg.dir / "alpha.py").write_text(ALPHA_V2)
+    fakepkg.alpha = importlib.reload(fakepkg.alpha)
+    store.refresh_signatures()
+    store.stats.reset()
+    log.unlink()
+
+    after = run_sweep(mixed_tasks(fakepkg, str(log)), store=store)
+    # Exactly the four alpha rows re-executed ...
+    assert sorted(executions(log)) == [f"alpha:{s}" for s in range(4)]
+    # ... with the new code's results; beta rows came from the store.
+    assert after[:4] == [("alpha-v2", s) for s in range(4)]
+    assert after[4:] == cold[4:]
+    assert store.stats.invalidated == 4
+    assert store.stats.hits == 4
+    assert store.stats.misses == 0
+
+    # Both signatures now coexist: a third run is fully warm again.
+    log.unlink()
+    again = run_sweep(mixed_tasks(fakepkg, str(log)), store=store)
+    assert again == after
+    assert executions(log) == []
+
+
+def test_unrelated_edit_keeps_everything_warm(fakepkg, tmp_path):
+    store = pkg_store(fakepkg, tmp_path)
+    log = tmp_path / "runs.log"
+    cold = run_sweep(mixed_tasks(fakepkg, str(log)), store=store)
+
+    # heavy.py is imported by neither alpha nor beta tasks.
+    (fakepkg.dir / "heavy.py").write_text(HEAVY + "\nEXTRA = 1\n")
+    store.refresh_signatures()
+    store.stats.reset()
+    log.unlink()
+
+    warm = run_sweep(mixed_tasks(fakepkg, str(log)), store=store)
+    assert warm == cold
+    assert executions(log) == []
+    assert store.stats.hits == 8 and store.stats.invalidated == 0
+
+
+# ----------------------------------------------------------------------
+# Unstorable rows
+# ----------------------------------------------------------------------
+
+
+def test_undigestable_kwarg_counts_skipped_and_runs(fakepkg, tmp_path):
+    store = pkg_store(fakepkg, tmp_path)
+
+    class NotDigestable:
+        def __str__(self):
+            return "nd"
+
+    log = tmp_path / "runs.log"
+    tasks = [
+        SweepTask(
+            fakepkg.alpha.alpha_task,
+            {"seed": NotDigestable(), "log": str(log)},
+        ),
+        SweepTask(fakepkg.alpha.alpha_task, {"seed": 1, "log": str(log)}),
+    ]
+    first = run_sweep(tasks, store=store)
+    second = run_sweep(tasks, store=store)
+    assert first[1] == second[1] == ("alpha-v1", 1)
+    assert store.stats.skipped == 2  # the unstorable row, both sweeps
+    assert len(executions(log)) == 3  # unstorable twice + storable once
+
+
+# ----------------------------------------------------------------------
+# Obs counters: serial == parallel
+# ----------------------------------------------------------------------
+
+
+def store_counters():
+    return {
+        k: v
+        for k, v in obs.metrics().counters().items()
+        if k.startswith("store.")
+    }
+
+
+def test_store_counters_identical_serial_vs_parallel(fakepkg, tmp_path):
+    store = pkg_store(fakepkg, tmp_path)
+    log = tmp_path / "runs.log"
+    run_sweep(mixed_tasks(fakepkg, str(log)), store=store)  # prepopulate
+
+    obs.enable(label="store-parity", fresh_metrics=True)
+    try:
+        serial = run_sweep(
+            mixed_tasks(fakepkg, str(log)), jobs=1, store=store
+        )
+        counters_serial = store_counters()
+    finally:
+        obs.disable()
+
+    obs.enable(label="store-parity", fresh_metrics=True)
+    try:
+        parallel = run_sweep(
+            mixed_tasks(fakepkg, str(log)), jobs=2, store=store
+        )
+        counters_parallel = store_counters()
+    finally:
+        obs.disable()
+
+    assert serial == parallel
+    assert counters_serial == counters_parallel
+    assert counters_serial["store.hit"] == 8
+    assert counters_serial.get("store.miss", 0) == 0
+
+
+def test_cold_run_counts_misses_and_writes(fakepkg, tmp_path):
+    store = pkg_store(fakepkg, tmp_path)
+    log = tmp_path / "runs.log"
+    obs.enable(label="store-cold", fresh_metrics=True)
+    try:
+        run_sweep(mixed_tasks(fakepkg, str(log)), store=store)
+        counters = store_counters()
+    finally:
+        obs.disable()
+    assert counters["store.miss"] == 8
+    assert counters["store.write"] == 8
+    assert counters.get("store.hit", 0) == 0
+
+
+# ----------------------------------------------------------------------
+# Scale: >= 1000 rows, >= 10x warm speedup
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_thousand_row_warm_sweep_is_10x_faster(fakepkg, tmp_path):
+    store = pkg_store(fakepkg, tmp_path)
+    tasks = [
+        SweepTask(fakepkg.heavy.heavy_task, {"seed": s}) for s in range(1200)
+    ]
+    start = time.perf_counter()
+    cold = run_sweep(tasks, store=store)
+    cold_wall = time.perf_counter() - start
+    assert store.stats.misses == 1200
+
+    start = time.perf_counter()
+    warm = run_sweep(tasks, store=store)
+    warm_wall = time.perf_counter() - start
+    assert warm == cold
+    assert store.stats.hits == 1200
+    assert warm_wall * 10 <= cold_wall, (
+        f"warm {warm_wall:.3f}s not >=10x faster than cold {cold_wall:.3f}s"
+    )

@@ -1,0 +1,169 @@
+"""Canonical config digests: the semantic-key invariants.
+
+The digest must be a function of what a task *means*, not of how its
+kwargs happened to be built — and it must never conflate genuinely
+different configurations (bool vs int, 0.0 vs -0.0).
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.detectors import Omega, PairedDetector, Sigma
+from repro.kernel.failures import FailurePattern
+from repro.store.digest import (
+    UndigestableError,
+    canonical,
+    config_digest,
+    fn_identity,
+)
+
+
+def task_fn(**kwargs):  # a stable module-level identity to digest against
+    return kwargs
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: structural invariances
+# ----------------------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(10**9), 10**9),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+_kwargs = st.dictionaries(
+    st.text(min_size=1, max_size=10), _values, min_size=1, max_size=6
+)
+
+
+@given(_kwargs, st.randoms())
+def test_digest_invariant_under_insertion_order(kwargs, rng):
+    items = list(kwargs.items())
+    rng.shuffle(items)
+    shuffled = dict(items)
+    assert shuffled == kwargs  # same mapping ...
+    assert config_digest(task_fn, shuffled) == config_digest(task_fn, kwargs)
+
+
+@given(_values)
+def test_list_and_tuple_forms_agree(value):
+    as_list = [value, value]
+    as_tuple = (value, value)
+    assert canonical(as_list) == canonical(as_tuple)
+    assert config_digest(task_fn, {"xs": as_list}) == config_digest(
+        task_fn, {"xs": as_tuple}
+    )
+
+
+@given(st.sets(st.integers(), min_size=1, max_size=8), st.randoms())
+def test_set_iteration_order_is_normalized(values, rng):
+    ordered = list(values)
+    rng.shuffle(ordered)
+    rebuilt = set(ordered)
+    assert canonical(rebuilt) == canonical(values)
+
+
+@given(st.floats(allow_nan=False))
+def test_float_digest_matches_iff_repr_matches(x):
+    assert canonical(x) == ("float", repr(x))
+
+
+# ----------------------------------------------------------------------
+# Type distinctions the canonical form must keep
+# ----------------------------------------------------------------------
+
+
+def test_bool_is_not_int():
+    assert canonical(True) != canonical(1)
+    assert canonical(False) != canonical(0)
+    assert config_digest(task_fn, {"x": True}) != config_digest(
+        task_fn, {"x": 1}
+    )
+
+
+def test_int_is_not_float():
+    assert canonical(1) != canonical(1.0)
+
+
+def test_str_is_not_bytes():
+    assert canonical("ab") != canonical(b"ab")
+
+
+def test_signed_zero_floats_differ():
+    assert canonical(0.0) != canonical(-0.0)
+
+
+def test_range_equals_explicit_sequence():
+    assert canonical(range(4)) == canonical([0, 1, 2, 3])
+    assert canonical(range(2, 5)) == canonical((2, 3, 4))
+
+
+def test_different_functions_never_share_a_digest():
+    assert config_digest(task_fn, {}) != config_digest(fn_for_contrast, {})
+
+
+def fn_for_contrast(**kwargs):
+    return kwargs
+
+
+# ----------------------------------------------------------------------
+# Domain types
+# ----------------------------------------------------------------------
+
+
+def test_failure_pattern_keys_on_crash_schedule():
+    a = FailurePattern(4, {1: 5, 2: 9})
+    b = FailurePattern(4, {2: 9, 1: 5})
+    c = FailurePattern(4, {1: 5})
+    assert canonical(a) == canonical(b)
+    assert canonical(a) != canonical(c)
+    assert canonical(a) != canonical(FailurePattern(5, {1: 5, 2: 9}))
+
+
+def test_detector_keys_on_cache_key():
+    one = PairedDetector(Omega(), Sigma("pivot"))
+    two = PairedDetector(Omega(), Sigma("pivot"))
+    assert one is not two
+    assert canonical(one) == canonical(two)
+    assert canonical(one) != canonical(
+        PairedDetector(Omega(), Sigma("majority"))
+    )
+
+
+def test_uncacheable_detector_is_undigestable():
+    class Stateful(Omega):
+        def cache_key(self):
+            return None
+
+    with pytest.raises(UndigestableError):
+        canonical(Stateful())
+    with pytest.raises(UndigestableError):
+        config_digest(task_fn, {"detector": Stateful()})
+
+
+def test_config_key_protocol():
+    class Opaque:
+        def __init__(self, tag):
+            self.tag = tag
+
+        def config_key(self):
+            return ("opaque", self.tag)
+
+    assert canonical(Opaque("x")) == canonical(Opaque("x"))
+    assert canonical(Opaque("x")) != canonical(Opaque("y"))
+
+
+def test_arbitrary_object_is_undigestable():
+    with pytest.raises(UndigestableError):
+        canonical(object())

@@ -1,0 +1,145 @@
+"""Code signatures change when — and only when — a dependency's source does.
+
+Each test builds a throwaway package on disk and registers it as a
+signature root, so the assertions run against real files with real
+mtimes, exactly the way the store sees the ``repro`` package.
+"""
+
+import os
+import textwrap
+
+from repro.store.signature import ModuleSignatureIndex, code_signature
+
+PKG = {
+    "__init__.py": "",
+    "mod_a.py": textwrap.dedent(
+        """
+        def helper_a():
+            return "a-v1"
+        """
+    ),
+    "mod_b.py": textwrap.dedent(
+        """
+        def helper_b():
+            return "b-v1"
+        """
+    ),
+    "tasks_a.py": textwrap.dedent(
+        """
+        from fakepkg.mod_a import helper_a
+
+        def task_a(seed):
+            return (helper_a(), seed)
+        """
+    ),
+    "tasks_b.py": textwrap.dedent(
+        """
+        def task_b(seed):
+            # Function-body import: the scanner must still see it.
+            from fakepkg.mod_b import helper_b
+
+            return (helper_b(), seed)
+        """
+    ),
+}
+
+
+def write_pkg(root) -> str:
+    pkg_dir = os.path.join(root, "fakepkg")
+    os.makedirs(pkg_dir, exist_ok=True)
+    for name, source in PKG.items():
+        with open(os.path.join(pkg_dir, name), "w") as fh:
+            fh.write(source)
+    return pkg_dir
+
+
+def rewrite(pkg_dir, name, source):
+    # A different content *length* guarantees the (mtime_ns, size) cache
+    # token changes even on filesystems with coarse mtime resolution.
+    with open(os.path.join(pkg_dir, name), "w") as fh:
+        fh.write(source)
+
+
+def make_index(tmp_path) -> ModuleSignatureIndex:
+    write_pkg(str(tmp_path))
+    return ModuleSignatureIndex({"fakepkg": str(tmp_path)})
+
+
+def test_closure_follows_imports_and_ancestors(tmp_path):
+    index = make_index(tmp_path)
+    assert index.closure("fakepkg.tasks_a") == {
+        "fakepkg",
+        "fakepkg.tasks_a",
+        "fakepkg.mod_a",
+    }
+    # Function-body import of mod_b is still part of tasks_b's closure.
+    assert "fakepkg.mod_b" in index.closure("fakepkg.tasks_b")
+    assert "fakepkg.mod_a" not in index.closure("fakepkg.tasks_b")
+
+
+def test_signature_changes_when_dependency_changes(tmp_path):
+    index = make_index(tmp_path)
+    pkg_dir = os.path.join(str(tmp_path), "fakepkg")
+    before = index.signature("fakepkg.tasks_a")
+
+    rewrite(pkg_dir, "mod_a.py", "def helper_a():\n    return 'a-v2-longer'\n")
+    after = index.signature("fakepkg.tasks_a")
+    assert after != before
+
+
+def test_signature_stable_when_unrelated_module_changes(tmp_path):
+    index = make_index(tmp_path)
+    pkg_dir = os.path.join(str(tmp_path), "fakepkg")
+    a_before = index.signature("fakepkg.tasks_a")
+    b_before = index.signature("fakepkg.tasks_b")
+
+    rewrite(pkg_dir, "mod_b.py", "def helper_b():\n    return 'b-v2-longer'\n")
+    assert index.signature("fakepkg.tasks_a") == a_before  # untouched cone
+    assert index.signature("fakepkg.tasks_b") != b_before  # touched cone
+
+
+def test_package_init_change_invalidates_all_members(tmp_path):
+    index = make_index(tmp_path)
+    pkg_dir = os.path.join(str(tmp_path), "fakepkg")
+    a_before = index.signature("fakepkg.tasks_a")
+    b_before = index.signature("fakepkg.tasks_b")
+
+    rewrite(pkg_dir, "__init__.py", "PACKAGE_FLAG = True\n")
+    assert index.signature("fakepkg.tasks_a") != a_before
+    assert index.signature("fakepkg.tasks_b") != b_before
+
+
+def test_identical_content_restores_the_signature(tmp_path):
+    index = make_index(tmp_path)
+    pkg_dir = os.path.join(str(tmp_path), "fakepkg")
+    before = index.signature("fakepkg.tasks_a")
+
+    rewrite(pkg_dir, "mod_a.py", "def helper_a():\n    return 'a-v2-longer'\n")
+    assert index.signature("fakepkg.tasks_a") != before
+    rewrite(pkg_dir, "mod_a.py", PKG["mod_a.py"])
+    assert index.signature("fakepkg.tasks_a") == before
+
+
+def test_module_outside_roots_has_no_signature(tmp_path):
+    index = make_index(tmp_path)
+    assert index.signature("os.path") is None
+    assert index.signature("not_a_package.anything") is None
+
+
+def test_code_signature_of_a_real_repro_function():
+    from repro.harness.merging import random_mergeable_pair_report
+
+    sig = code_signature(random_mergeable_pair_report)
+    assert sig is not None and len(sig) == 64
+    # Stable across calls (cache hit path).
+    assert code_signature(random_mergeable_pair_report) == sig
+
+
+def test_code_signature_none_outside_roots(tmp_path):
+    index = make_index(tmp_path)
+
+    def local_fn():
+        return None
+
+    # Defined in this test module, which is not under the fakepkg root.
+    assert code_signature(local_fn, index) is None
