@@ -16,6 +16,10 @@ Measures the run engine and the sweep driver and writes ``BENCH_kernel.json``
   (bit-identical tables for every job count) is covered by the test suite;
 * a per-phase breakdown of one traced EXP-3 quick run (span aggregates and
   deterministic work counters from :mod:`repro.obs`);
+* tracing-off vs tracing-on throughput on the same micro workload (the
+  ``obs`` section): the off number is gated by ``check_regression.py`` so
+  instrumentation never taxes the untraced hot path, the on number keeps
+  the tracing overhead visible;
 * with ``--store``, a cold-vs-warm comparison of one EXP-1 sweep through a
   throwaway content-addressed result store (``repro.store``): warm wall
   time, speedup, hit counts and whether the rendered tables were
@@ -236,6 +240,45 @@ def _runner_name(name: str) -> str:
     return f"{name}_{suffixes[name]}"
 
 
+def bench_obs(repeats: int) -> Dict[str, Any]:
+    """Tracing-off vs tracing-on kernel throughput on the micro workload.
+
+    ``off`` is the plain metrics-trace micro-bench — the number CI gates
+    against the baseline so instrumentation growth can never tax the
+    untraced hot path.  ``on`` wraps the same workload in
+    ``obs.tracing()`` so every guarded span/event/counter site fires;
+    its ``overhead_pct`` is informational (tracing is a debugging mode,
+    not a production one) but keeps the cost visible in the report's
+    trajectory section.
+    """
+    from repro import obs
+
+    _micro_run("metrics")  # warm up
+    off_best = min(_timed(_micro_run, "metrics") for _ in range(repeats))
+
+    def _traced_run() -> None:
+        with obs.tracing(label="bench:obs-overhead"):
+            _micro_run("metrics")
+
+    _traced_run()  # warm up
+    on_best = min(_timed(_traced_run) for _ in range(repeats))
+    return {
+        "workload": (
+            f"quorum-MR over (Omega, Sigma), n={MICRO_N}, "
+            f"{MICRO_STEPS} steps, metrics trace"
+        ),
+        "off": {
+            "best_ms": round(off_best * 1e3, 3),
+            "steps_per_sec": round(MICRO_STEPS / off_best),
+        },
+        "on": {
+            "best_ms": round(on_best * 1e3, 3),
+            "steps_per_sec": round(MICRO_STEPS / on_best),
+        },
+        "overhead_pct": round(100.0 * (on_best - off_best) / off_best, 1),
+    }
+
+
 def bench_phases() -> Dict[str, Any]:
     """Per-phase breakdown of a traced EXP-3 quick run.
 
@@ -387,6 +430,14 @@ def main(argv=None) -> int:
             f"({batch['speedup']}x)",
             flush=True,
         )
+    print("observability overhead (tracing off vs on) ...", flush=True)
+    obs_section = bench_obs(repeats)
+    print(
+        f"  off: {obs_section['off']['steps_per_sec']:,} steps/s   "
+        f"on: {obs_section['on']['steps_per_sec']:,} steps/s   "
+        f"({obs_section['overhead_pct']:+.1f}% overhead)",
+        flush=True,
+    )
     print("experiment sweeps (quick parameterization) ...", flush=True)
     experiments = bench_experiments(names)
     print("traced exp3 phase breakdown ...", flush=True)
@@ -426,6 +477,7 @@ def main(argv=None) -> int:
         "quick": args.quick,
         "environment": environment_stamp(REPO_ROOT),
         "kernel": kernel,
+        "obs": obs_section,
         "experiments": experiments,
         "phases": phases,
         "sweep_parallelism": sweep,

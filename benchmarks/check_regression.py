@@ -14,6 +14,18 @@ throughput must not fall below the serial engine measured in the same run
 (speedup >= 1), and must not drop more than ``--threshold`` percent below
 the committed baseline's batch throughput.
 
+When it carries an ``obs`` section, the tracing-*off* throughput is gated
+at the same threshold (against the baseline's own ``obs.off`` when
+present, else the baseline's metrics-mode kernel number — older reports
+predate the section).  The tracing-on overhead is informational: tracing
+is a debugging mode.
+
+``--attribute TRACE_A TRACE_B`` names two trace files (``repro run
+--trace``, ``repro-trace/1`` or ``/2``); when the throughput gate trips,
+the check prints the top span-path deltas between them so the failure
+comes with the stage it lives in, not just a number.  See
+``docs/observability.md``.
+
 ``--store-baseline`` compares against the most recent report on the result
 store's bench shelf (``benchmarks/results/store/bench/kernel/...``) for
 *this* environment digest — same python, platform and CPU count — instead
@@ -126,6 +138,15 @@ def main(argv=None) -> int:
         "(default: benchmarks/results/store)",
     )
     parser.add_argument(
+        "--attribute",
+        nargs=2,
+        metavar=("TRACE_A", "TRACE_B"),
+        default=None,
+        help="two trace files to diff (baseline run vs new run) when the "
+        "throughput gate fails — prints the top span-path deltas so the "
+        "regression comes with an attribution",
+    )
+    parser.add_argument(
         "--chaos",
         action="store_true",
         help="run the quick chaos-matrix rows and fail on inexact verdicts "
@@ -213,6 +234,30 @@ def main(argv=None) -> int:
             if drop > args.threshold:
                 failures.append("batch-throughput")
 
+    if "obs" in new:
+        off = new["obs"]["off"]["steps_per_sec"]
+        base_off = baseline.get("obs", {}).get("off", {}).get("steps_per_sec")
+        source = "obs.off"
+        if not base_off:
+            # Older baselines predate the obs section; the tracing-off
+            # path is the plain metrics-mode kernel, so that number is
+            # the honest stand-in.
+            base_off = baseline["kernel"]["metrics"]["steps_per_sec"]
+            source = "kernel.metrics, pre-obs baseline"
+        drop = 100.0 * (base_off - off) / base_off if base_off else 0.0
+        status = "FAIL" if drop > args.threshold else "ok"
+        print(
+            f"obs[off]: baseline {base_off:,} steps/s ({source}), "
+            f"new {off:,} steps/s ({drop:+.1f}% drop) [{status}]"
+        )
+        if drop > args.threshold:
+            failures.append("obs-tracing-off")
+        print(
+            f"obs[on]: {new['obs']['on']['steps_per_sec']:,} steps/s "
+            f"({new['obs']['overhead_pct']:+.1f}% tracing overhead, "
+            f"informational)"
+        )
+
     base_sweeps = {e["name"]: e["wall_s"] for e in baseline.get("experiments", [])}
     for entry in new.get("experiments", []):
         base_wall = base_sweeps.get(entry["name"])
@@ -228,9 +273,26 @@ def main(argv=None) -> int:
             + ", ".join(failures),
             file=sys.stderr,
         )
+        if args.attribute:
+            _attribute_failure(args.attribute[0], args.attribute[1])
         return 1
     print("no throughput regression beyond threshold")
     return 0
+
+
+def _attribute_failure(trace_a: str, trace_b: str) -> None:
+    """Diff two traces so the gate failure names its suspect stage."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    try:
+        from repro.obs.analyze import diff_traces, render_diff
+        from repro.obs.export import read_trace
+
+        diff = diff_traces(read_trace(trace_a), read_trace(trace_b))
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"attribution unavailable: {exc}", file=sys.stderr)
+        return
+    print(f"\nattribution ({trace_a} vs {trace_b}):")
+    print(render_diff(diff, top=8))
 
 
 if __name__ == "__main__":

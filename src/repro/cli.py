@@ -17,7 +17,12 @@ Commands
                    the emitted quorums and checker verdicts
 ``reproduce``      run all nine experiments and print one combined report
 ``trace``          inspect a JSONL trace written by ``--trace-out``
-                   (timeline, per-span aggregates, counter totals)
+                   (timeline, per-span aggregates, counter totals);
+                   ``trace diff A B`` attributes tick/wall deltas per
+                   span path, ``trace flame FILE`` draws an ASCII
+                   flamegraph
+``obs``            ``obs report`` writes a self-contained HTML run
+                   observatory (traces + perf trajectory sparklines)
 ``lint``           run the determinism & model-fidelity static analysis
                    (rule catalog in docs/linting.md)
 ``chaos``          run the fault-injection matrix, fuzz single configs, or
@@ -255,18 +260,42 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
-def cmd_trace(args) -> int:
+def _read_validated_trace(path: str, force: bool):
+    """Parse + schema-check one trace; ``None`` signals a fatal error."""
     from repro.obs.export import read_trace, validate_trace
-    from repro.obs.inspect import render_trace
 
-    records = read_trace(args.file)
+    records = read_trace(path)
     errors = validate_trace(records)
     if errors:
-        print(f"{args.file}: {len(errors)} schema error(s)")
+        print(f"{path}: invalid trace, {len(errors)} schema error(s)")
         for error in errors:
             print(f"  - {error}")
-        if not args.force:
-            return 1
+        if not force:
+            return None
+    return records
+
+
+def cmd_trace(args) -> int:
+    """Dispatch ``repro trace [diff|flame] ...``.
+
+    The positional grammar keeps the original ``repro trace FILE`` form
+    working: a target that is not a subaction is treated as the file to
+    render.
+    """
+    if args.target == "diff":
+        return _trace_diff(args)
+    if args.target == "flame":
+        return _trace_flame(args)
+    if args.rest:
+        raise SystemExit(
+            f"unexpected extra argument(s) {args.rest!r}; usage: "
+            f"repro trace FILE | repro trace diff A B | repro trace flame FILE"
+        )
+    from repro.obs.inspect import render_trace
+
+    records = _read_validated_trace(args.target, args.force)
+    if records is None:
+        return 1
     print(
         render_trace(
             records,
@@ -276,6 +305,75 @@ def cmd_trace(args) -> int:
             timeline=not args.no_timeline,
         )
     )
+    return 0
+
+
+def _trace_diff(args) -> int:
+    """``repro trace diff A B`` — per-span-path attribution of deltas."""
+    from repro.obs.analyze import diff_traces, render_diff
+
+    if len(args.rest) != 2:
+        raise SystemExit("usage: repro trace diff TRACE_A TRACE_B")
+    a_records = _read_validated_trace(args.rest[0], args.force)
+    b_records = _read_validated_trace(args.rest[1], args.force)
+    if a_records is None or b_records is None:
+        return 1
+    diff = diff_traces(
+        a_records,
+        b_records,
+        wall_tol_ms=args.tolerance_ms,
+        wall_rel_tol=args.rel_tolerance,
+    )
+    print(render_diff(diff, top=args.top, show_all=args.all))
+    if args.expect_equal_ticks and not diff.tick_exact:
+        print(
+            "\nFAIL: logical-tick deltas found between traces that were "
+            "expected identical (nondeterminism or a changed workload)"
+        )
+        return 1
+    return 0
+
+
+def _trace_flame(args) -> int:
+    """``repro trace flame FILE`` — ASCII flamegraph over span paths."""
+    from repro.obs.analyze import render_flame
+
+    if len(args.rest) != 1:
+        raise SystemExit("usage: repro trace flame TRACE")
+    records = _read_validated_trace(args.rest[0], args.force)
+    if records is None:
+        return 1
+    print(
+        render_flame(
+            records,
+            width=args.width,
+            by=args.by,
+            max_rows=args.max_rows,
+        )
+    )
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """``repro obs report`` — write the self-contained HTML observatory."""
+    from repro.obs.report import write_report
+
+    if args.action != "report":  # pragma: no cover - argparse choices
+        raise SystemExit(f"unknown obs action {args.action!r}")
+    store_dir = args.store_dir
+    if store_dir is None and not args.no_store:
+        from repro.store.store import default_store_root
+
+        store_dir = default_store_root()
+    path = write_report(
+        args.output,
+        traces=args.trace,
+        bench_kernel=args.bench_kernel,
+        bench_extraction=args.bench_extraction,
+        store_dir=store_dir,
+        title=args.title,
+    )
+    print(f"(report written to {path})")
     return 0
 
 
@@ -536,6 +634,12 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument(
         "--verbose", action="store_true", help="gc: list removed records"
     )
+    store.add_argument(
+        "--counters",
+        action="store_true",
+        help="diff: compare stored row telemetry (counter deltas between "
+        "the current and the displaced code signature)",
+    )
     store.set_defaults(func=cmd_store)
 
     contamination = sub.add_parser(
@@ -590,20 +694,31 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.set_defaults(func=cmd_reproduce)
 
     trace = sub.add_parser(
-        "trace", help="inspect a JSONL trace written by --trace-out"
+        "trace",
+        help="inspect (FILE), compare (diff A B) or flame (flame FILE) "
+        "JSONL traces written by --trace-out",
     )
-    trace.add_argument("file", help="repro-trace/1 JSONL file")
+    trace.add_argument(
+        "target",
+        help="a repro-trace/1 or /2 JSONL file, or the subaction "
+        "'diff' / 'flame'",
+    )
+    trace.add_argument(
+        "rest",
+        nargs="*",
+        help="trace file(s) for 'diff' (two) and 'flame' (one)",
+    )
     trace.add_argument(
         "--top", type=int, default=12, metavar="N",
-        help="rows in the per-span aggregate table (by self ticks)",
+        help="rows in the aggregate / diff tables (by self ticks)",
     )
     trace.add_argument(
         "--width", type=int, default=64, metavar="COLS",
-        help="timeline bar width in columns",
+        help="timeline / flamegraph bar width in columns",
     )
     trace.add_argument(
         "--max-rows", type=int, default=40, metavar="N",
-        help="maximum timeline rows before truncation",
+        help="maximum timeline/flamegraph rows before truncation",
     )
     trace.add_argument(
         "--no-timeline", action="store_true", help="skip the ASCII timeline"
@@ -612,7 +727,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--force", action="store_true",
         help="render even if schema validation fails",
     )
+    trace.add_argument(
+        "--tolerance-ms", type=float, default=5.0, metavar="MS",
+        help="diff: absolute wall-clock noise floor per span path",
+    )
+    trace.add_argument(
+        "--rel-tolerance", type=float, default=0.25, metavar="FRAC",
+        help="diff: relative wall-clock noise floor (fraction of the "
+        "larger side)",
+    )
+    trace.add_argument(
+        "--expect-equal-ticks", action="store_true",
+        help="diff: exit 1 on any logical-tick delta (same-seed "
+        "determinism check)",
+    )
+    trace.add_argument(
+        "--all", action="store_true",
+        help="diff: list every compared path, not just significant ones",
+    )
+    trace.add_argument(
+        "--by", choices=["ticks", "wall"], default=None,
+        help="flame: weight axis (default: ticks, falling back to wall "
+        "when the trace has no tick extent)",
+    )
     trace.set_defaults(func=cmd_trace)
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability tooling: 'report' writes a self-contained "
+        "HTML run observatory",
+    )
+    obs.add_argument("action", choices=["report"])
+    obs.add_argument(
+        "--trace",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="include this JSONL trace (repeatable)",
+    )
+    obs.add_argument(
+        "--bench-kernel",
+        default="BENCH_kernel.json",
+        metavar="FILE",
+        help="committed kernel benchmark report (default BENCH_kernel.json)",
+    )
+    obs.add_argument(
+        "--bench-extraction",
+        default="BENCH_extraction.json",
+        metavar="FILE",
+        help="committed extraction benchmark report",
+    )
+    obs.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="result store root to scan for shelved bench baselines "
+        "(default: benchmarks/results/store)",
+    )
+    obs.add_argument(
+        "--no-store",
+        action="store_true",
+        help="skip the bench shelf; chart only the committed reports",
+    )
+    obs.add_argument(
+        "--output",
+        default="obs-report.html",
+        metavar="FILE",
+        help="output HTML path (default obs-report.html)",
+    )
+    obs.add_argument(
+        "--title", default="repro run observatory", help="report title"
+    )
+    obs.set_defaults(func=cmd_obs)
 
     chaos = sub.add_parser(
         "chaos",

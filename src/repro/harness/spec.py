@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from inspect import signature
 from typing import Any, Callable, Dict, List, Optional
 
+from repro import obs as _obs
 from repro.analysis.tables import Table
 
 #: Experiment name -> runner-function suffix in repro.harness.experiments.
@@ -122,6 +123,15 @@ class SweepSpec:
             kwargs["batch"] = batch
         if store is not None:
             kwargs["store"] = store
+        if _obs._ENABLED:
+            # The spec span roots the sweep's path tree: everything below
+            # (exp.<name> -> store.lookup/store.execute -> runner.* ->
+            # kernel.run) canonicalizes under sweep.spec/<...>, so two
+            # sweeps of the same spec diff path-for-path.
+            with _obs.tracer().span(
+                "sweep.spec", spec=self.name, experiment=self.experiment
+            ):
+                return runner(**kwargs)
         return runner(**kwargs)
 
 

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import random
 from bisect import bisect_right
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -695,6 +696,12 @@ class BatchSystem:
                 reasons[reason] = reasons.get(reason, 0) + 1
                 if _obs._ENABLED:
                     _obs.metrics().inc("batch.fallback")
+                    # Structured fallback reason: one event per demoted
+                    # lane (tick = lane index), so a batch-vs-serial trace
+                    # names exactly which lanes lost the fast path and why.
+                    _obs.tracer().event(
+                        "batch.fallback", tick=i, lane=i, reason=reason
+                    )
         self.stats: Dict[str, Any] = {
             "lanes": len(self.lanes),
             "fast": sum(1 for l in self.lanes if isinstance(l, _FastLane)),
@@ -703,6 +710,10 @@ class BatchSystem:
             ),
             "fallback_reasons": reasons,
             "steps": 0,
+            # Filled by run(): per-wave active-lane and retirement curves.
+            "waves": 0,
+            "wave_occupancy": [],
+            "wave_retired": [],
         }
         self._results: List[Optional[RunResult]] = [None] * len(self.lanes)
 
@@ -746,28 +757,61 @@ class BatchSystem:
     # -- execution -------------------------------------------------------
 
     def run(self) -> List[RunResult]:
-        """Execute every lane to completion; results in spec order."""
-        results = self._results
-        fast: List[_FastLane] = []
-        for lane in self.lanes:
-            if isinstance(lane, _FallbackLane):
-                result = lane.run()
-                results[lane.index] = result
-                self.stats["steps"] += result.total_steps
-            else:
-                fast.append(lane)
-        slice_ticks = self.slice_ticks
-        active = fast
-        while active:
-            still: List[_FastLane] = []
-            for lane in active:
-                _advance(lane, slice_ticks)
-                if lane.reason is None:
-                    still.append(lane)
+        """Execute every lane to completion; results in spec order.
+
+        Alongside the results, :attr:`stats` gains the batch's execution
+        shape: ``waves`` (fused-loop rounds), ``wave_occupancy`` (active
+        fast lanes entering each wave) and ``wave_retired`` (lanes that
+        finished during it) — the retirement curve that shows how much of
+        the batch's width survives to the tail.  Deterministic, collected
+        traced or not; under observability the run is additionally
+        wrapped in a ``batch.run`` span with one ``batch.wave`` event per
+        round.
+        """
+        tracer = _obs.tracer() if _obs._ENABLED else None
+        with (
+            tracer.span(
+                "batch.run",
+                lanes=self.stats["lanes"],
+                fast=self.stats["fast"],
+                fallback=self.stats["fallback"],
+            )
+            if tracer is not None
+            else nullcontext()
+        ):
+            results = self._results
+            fast: List[_FastLane] = []
+            for lane in self.lanes:
+                if isinstance(lane, _FallbackLane):
+                    result = lane.run()
+                    results[lane.index] = result
+                    self.stats["steps"] += result.total_steps
                 else:
-                    results[lane.index] = lane.result()
-                    self.stats["steps"] += lane.time
-            active = still
+                    fast.append(lane)
+            slice_ticks = self.slice_ticks
+            occupancy: List[int] = self.stats["wave_occupancy"]
+            retired: List[int] = self.stats["wave_retired"]
+            active = fast
+            while active:
+                occupancy.append(len(active))
+                still: List[_FastLane] = []
+                for lane in active:
+                    _advance(lane, slice_ticks)
+                    if lane.reason is None:
+                        still.append(lane)
+                    else:
+                        results[lane.index] = lane.result()
+                        self.stats["steps"] += lane.time
+                retired.append(len(active) - len(still))
+                if tracer is not None:
+                    tracer.event(
+                        "batch.wave",
+                        tick=len(occupancy) - 1,
+                        active=len(active),
+                        retired=len(active) - len(still),
+                    )
+                active = still
+            self.stats["waves"] = len(occupancy)
         return list(results)  # type: ignore[arg-type]
 
 

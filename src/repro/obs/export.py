@@ -1,15 +1,25 @@
-"""Versioned JSONL trace export: schema ``repro-trace/1``.
+"""Versioned JSONL trace export: schemas ``repro-trace/1`` and ``/2``.
 
 One record per line.  A file is:
 
 1. exactly one ``meta`` header line (first line):
-   ``{"type":"meta","schema":"repro-trace/1","label":...,"generated_at":...,
+   ``{"type":"meta","schema":"repro-trace/2","label":...,"generated_at":...,
    "meta":{...}}``;
 2. any number of ``span`` / ``event`` lines (see
    :mod:`repro.obs.tracer` for field meaning) in record order — spans
    appear at *close* time, so a parent span follows its children;
-3. optionally one trailing ``metrics`` line holding a
+3. (``/2`` only) optionally one ``paths`` line holding the precomputed
+   span-path aggregates (:func:`repro.obs.analyze.aggregate_paths`), so
+   path-level consumers — the result store's row telemetry, ``repro
+   trace diff`` on stored summaries — need not re-walk the span tree;
+4. optionally one trailing ``metrics`` line holding a
    :meth:`~repro.obs.registry.MetricsRegistry.snapshot`.
+
+``/2`` is a strict superset of ``/1``: the only addition is the optional
+``paths`` record, so every ``/1`` reader concern applies unchanged and
+:func:`read_trace` / :func:`validate_trace` accept both versions (a
+``paths`` record inside a file claiming ``/1`` is a schema error).
+The writer emits ``/2``.
 
 Everything except ``generated_at``, ``wall_ms`` and timer totals is a
 deterministic function of the traced run.  The full schema is documented
@@ -27,8 +37,12 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 
 SCHEMA = "repro-trace/1"
+SCHEMA_V2 = "repro-trace/2"
 
-_RECORD_TYPES = ("meta", "span", "event", "metrics")
+#: Schemas validate_trace accepts, oldest first.
+SCHEMAS = (SCHEMA, SCHEMA_V2)
+
+_RECORD_TYPES = ("meta", "span", "event", "paths", "metrics")
 
 
 def _jsonable(value: Any) -> Any:
@@ -42,17 +56,33 @@ def trace_records(
     tracer: Tracer,
     registry: Optional[MetricsRegistry] = None,
     meta: Optional[Dict[str, Any]] = None,
+    schema: str = SCHEMA_V2,
+    include_paths: bool = True,
 ) -> List[Dict[str, Any]]:
-    """The full record list of a trace file (header + body + metrics)."""
+    """The full record list of a trace file (header + body + metrics).
+
+    ``schema`` picks the emitted version (``SCHEMA_V2`` by default;
+    passing ``SCHEMA`` writes a ``/1`` file for compatibility tests).
+    ``include_paths`` controls the ``/2`` span-path aggregate record;
+    it is never written into a ``/1`` file.
+    """
+    if schema not in SCHEMAS:
+        raise ValueError(f"unknown trace schema {schema!r}")
     header: Dict[str, Any] = {
         "type": "meta",
-        "schema": SCHEMA,
+        "schema": schema,
         "label": tracer.label,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "meta": {**tracer.meta, **(meta or {})},
     }
     records: List[Dict[str, Any]] = [header]
     records.extend(tracer.records)
+    if schema == SCHEMA_V2 and include_paths:
+        from repro.obs.analyze import aggregate_paths
+
+        paths = aggregate_paths(tracer.records)
+        if paths:
+            records.append({"type": "paths", "paths": paths})
     if registry is not None:
         records.append({"type": "metrics", **registry.snapshot()})
     return records
@@ -63,9 +93,10 @@ def write_trace(
     tracer: Tracer,
     registry: Optional[MetricsRegistry] = None,
     meta: Optional[Dict[str, Any]] = None,
+    schema: str = SCHEMA_V2,
 ) -> int:
     """Write the trace as JSONL; returns the number of records written."""
-    records = trace_records(tracer, registry=registry, meta=meta)
+    records = trace_records(tracer, registry=registry, meta=meta, schema=schema)
     with open(path, "w") as fh:
         for record in records:
             fh.write(json.dumps(record, sort_keys=True, default=_jsonable))
@@ -87,25 +118,30 @@ def read_trace(path: str) -> List[Dict[str, Any]]:
 def validate_trace(records: List[Dict[str, Any]]) -> List[str]:
     """Schema-check parsed records; returns human-readable errors ([] = ok).
 
-    Validates the ``repro-trace/1`` invariants: header first, known record
-    types, required fields with the right types, unique sids, parent/span
-    references that resolve, and ``tick_out >= tick_in``.
+    Accepts both ``repro-trace/1`` and ``/2`` and validates the shared
+    invariants: header first, known record types, required fields with the
+    right types, unique sids, parent/span references that resolve, and
+    ``tick_out >= tick_in``.  The ``paths`` record is ``/2``-only (at most
+    one; its presence in a ``/1`` file is an error).
     """
     errors: List[str] = []
     if not records:
         return ["empty trace: missing meta header"]
     head = records[0]
+    schema = head.get("schema")
     if head.get("type") != "meta":
         errors.append(f"first record must be meta, got {head.get('type')!r}")
-    elif head.get("schema") != SCHEMA:
+    elif schema not in SCHEMAS:
         errors.append(
-            f"unsupported schema {head.get('schema')!r} (expected {SCHEMA!r})"
+            f"unsupported schema {schema!r} "
+            f"(expected one of {', '.join(repr(s) for s in SCHEMAS)})"
         )
     span_sids = {
         r.get("sid") for r in records if r.get("type") == "span"
     }
     seen_sids: set = set()
     metrics_lines = 0
+    paths_lines = 0
     for i, record in enumerate(records[1:], start=2):
         kind = record.get("type")
         where = f"line {i}"
@@ -119,12 +155,35 @@ def validate_trace(records: List[Dict[str, Any]]) -> List[str]:
             for section in ("counters", "gauges", "timers"):
                 if not isinstance(record.get(section), dict):
                     errors.append(f"{where}: metrics.{section} must be a dict")
+        elif kind == "paths":
+            paths_lines += 1
+            if schema == SCHEMA:
+                errors.append(
+                    f"{where}: paths records need schema {SCHEMA_V2!r} "
+                    f"(file claims {SCHEMA!r})"
+                )
+            if not isinstance(record.get("paths"), dict):
+                errors.append(f"{where}: paths.paths must be a dict")
+            else:
+                for path, agg in record["paths"].items():
+                    if not isinstance(agg, dict) or not {
+                        "count",
+                        "total_ticks",
+                        "self_ticks",
+                        "wall_ms",
+                    } <= set(agg):
+                        errors.append(
+                            f"{where}: path {path!r} aggregate must carry "
+                            f"count/total_ticks/self_ticks/wall_ms"
+                        )
         elif kind == "span":
             errors.extend(_check_span(record, where, span_sids, seen_sids))
         elif kind == "event":
             errors.extend(_check_event(record, where, span_sids, seen_sids))
     if metrics_lines > 1:
         errors.append(f"{metrics_lines} metrics records (at most 1 allowed)")
+    if paths_lines > 1:
+        errors.append(f"{paths_lines} paths records (at most 1 allowed)")
     return errors
 
 

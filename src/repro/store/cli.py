@@ -167,6 +167,7 @@ def _store_diff(args) -> int:
         captured.extend(list(tasks))
         raise _DiffDone()
 
+    with_counters = bool(getattr(args, "counters", False))
     per_spec: List[Dict[str, Any]] = []
     for spec in specs:
         captured.clear()
@@ -178,7 +179,10 @@ def _store_diff(args) -> int:
             pass
         finally:
             parallel.run_sweep, experiments.run_sweep = originals
-        diff = store.diff_tasks([(t.fn, t.kwargs) for t in captured])
+        diff = store.diff_tasks(
+            [(t.fn, t.kwargs) for t in captured],
+            with_telemetry=with_counters,
+        )
         per_spec.append({"sweep": spec.name, **diff})
 
     if args.json:
@@ -199,8 +203,54 @@ def _store_diff(args) -> int:
             f"{counts['invalidated']} invalidated by code changes, "
             f"{counts['unstorable']} unstorable"
         )
+        if with_counters:
+            _print_counter_deltas(entry)
     print(f"a sweep now would execute {would_run} task(s)")
     return 0
+
+
+def _print_counter_deltas(entry: Dict[str, Any]) -> None:
+    """Summed per-counter work deltas of one sweep's telemetry rows.
+
+    ``current - previous`` over every row that carries telemetry under
+    both the current and a displaced code signature, so the number reads
+    "how much more (or less) deterministic work the new code does on the
+    rows it already ran".  Rows without stored telemetry (untraced
+    sweeps, fresh rows) are counted but contribute nothing.
+    """
+    current: Dict[str, int] = {}
+    previous: Dict[str, int] = {}
+    compared = 0
+    for row in entry.get("tasks", []):
+        now = (row.get("telemetry") or {}).get("counters")
+        then = (row.get("previous_telemetry") or {}).get("counters")
+        if not (now and then):
+            continue
+        compared += 1
+        for name, value in now.items():
+            current[name] = current.get(name, 0) + int(value)
+        for name, value in then.items():
+            previous[name] = previous.get(name, 0) + int(value)
+    if not compared:
+        print("  counters: no rows carry telemetry under both signatures")
+        return
+    deltas = sorted(
+        (
+            (name, current.get(name, 0), previous.get(name, 0))
+            for name in set(current) | set(previous)
+            if current.get(name, 0) != previous.get(name, 0)
+        ),
+        key=lambda item: (-abs(item[1] - item[2]), item[0]),
+    )
+    if not deltas:
+        print(f"  counters: identical across {compared} telemetry row(s)")
+        return
+    print(f"  counter deltas over {compared} telemetry row(s) (now - then):")
+    for name, now_total, then_total in deltas[:12]:
+        print(
+            f"    {name:<32} {then_total} -> {now_total} "
+            f"({now_total - then_total:+d})"
+        )
 
 
 class _DiffDone(Exception):

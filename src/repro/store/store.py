@@ -50,6 +50,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import obs as _obs
 from repro.harness.envinfo import environment_digest, environment_stamp
 from repro.store.digest import UndigestableError, config_digest, fn_identity
 from repro.store.signature import ModuleSignatureIndex, default_index
@@ -148,6 +149,12 @@ class ResultStore:
         modname = fn.__module__
         if modname not in self._signature_cache:
             self._signature_cache[modname] = self.index.signature(modname)
+            if _obs._ENABLED:
+                # Signature computations are the per-sweep fixed cost of
+                # addressing (one import-closure hash per module); digests
+                # are the per-row cost.  Counting both makes a slow lookup
+                # phase explainable from the trace alone.
+                _obs.metrics().inc("store.signature")
         signature = self._signature_cache[modname]
         if signature is None:
             return None
@@ -155,6 +162,8 @@ class ResultStore:
             digest = config_digest(fn, kwargs)
         except UndigestableError:
             return None
+        if _obs._ENABLED:
+            _obs.metrics().inc("store.digest")
         return TaskKey(digest=digest, signature=signature, fn=fn_identity(fn))
 
     def refresh_signatures(self) -> None:
@@ -216,8 +225,22 @@ class ResultStore:
         self.stats.misses += 1
         return "miss", None
 
-    def store(self, key: TaskKey, value: Any) -> bool:
-        """Atomically persist one result; False if it cannot be pickled."""
+    def store(
+        self,
+        key: TaskKey,
+        value: Any,
+        telemetry: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Atomically persist one result; False if it cannot be pickled.
+
+        ``telemetry`` (optional) rides along in the record: the row's
+        deterministic counter delta and span-path aggregates as captured
+        by a traced sweep (see :mod:`repro.harness.parallel`).  It never
+        affects lookups — records with and without telemetry are equally
+        valid hits — but lets ``repro store diff --counters`` explain how
+        much *work* moved between two code signatures, not just which
+        rows would re-run.
+        """
         try:
             payload = base64.b64encode(
                 zlib.compress(pickle.dumps(value, protocol=4))
@@ -235,6 +258,8 @@ class ResultStore:
             "payload_format": "pickle4+zlib+base64",
             "payload": payload,
         }
+        if telemetry:
+            record["telemetry"] = telemetry
         self._atomic_write_json(self._record_path(key), record)
         self.stats.writes += 1
         return True
@@ -355,8 +380,55 @@ class ResultStore:
             "bytes_freed": freed,
         }
 
-    def diff_tasks(self, tasks: List[Tuple[Callable[..., Any], Dict[str, Any]]]) -> Dict[str, Any]:
-        """What a sweep over ``tasks`` would do, without running anything."""
+    def telemetry(self, key: TaskKey) -> Optional[Dict[str, Any]]:
+        """The telemetry stored with this exact ``(digest, signature)``."""
+        record = self._read_record(self._record_path(key))
+        if record is not None and record.get("code_signature") == key.signature:
+            return record.get("telemetry")
+        return None
+
+    def previous_record(self, key: TaskKey) -> Optional[Dict[str, Any]]:
+        """The newest record of this row under a *different* signature.
+
+        This is the record an invalidated lookup displaced: same config
+        digest, older code.  ``repro store diff --counters`` compares its
+        telemetry against the current signature's to show how the row's
+        deterministic work moved when the code did.
+        """
+        row_dir = self._row_dir(key.digest)
+        own = key.signature[:_SIG_PREFIX] + ".json"
+        try:
+            names = [
+                n
+                for n in os.listdir(row_dir)
+                if n.endswith(".json") and n != own
+            ]
+        except OSError:
+            return None
+        best: Optional[Dict[str, Any]] = None
+        for name in sorted(names):
+            record = self._read_record(os.path.join(row_dir, name))
+            if record is None:
+                continue
+            if best is None or (record.get("created_at") or "") >= (
+                best.get("created_at") or ""
+            ):
+                best = record
+        return best
+
+    def diff_tasks(
+        self,
+        tasks: List[Tuple[Callable[..., Any], Dict[str, Any]]],
+        with_telemetry: bool = False,
+    ) -> Dict[str, Any]:
+        """What a sweep over ``tasks`` would do, without running anything.
+
+        ``with_telemetry`` additionally attaches each row's stored
+        telemetry under the current signature (``telemetry``; hits only)
+        and under the newest displaced signature (``previous_telemetry``),
+        so callers can compute per-counter work deltas across the code
+        change without executing a row.
+        """
         counts = {"hit": 0, "invalidated": 0, "miss": 0, "unstorable": 0}
         rows: List[Dict[str, Any]] = []
         for fn, kwargs in tasks:
@@ -367,14 +439,21 @@ class ResultStore:
                 continue
             status = self.probe(key)
             counts[status] += 1
-            rows.append(
-                {
-                    "fn": key.fn,
-                    "status": status,
-                    "config_digest": key.digest,
-                    "code_signature": key.signature,
-                }
-            )
+            row = {
+                "fn": key.fn,
+                "status": status,
+                "config_digest": key.digest,
+                "code_signature": key.signature,
+            }
+            if with_telemetry:
+                row["telemetry"] = (
+                    self.telemetry(key) if status == "hit" else None
+                )
+                previous = self.previous_record(key)
+                row["previous_telemetry"] = (
+                    previous.get("telemetry") if previous else None
+                )
+            rows.append(row)
         return {"counts": counts, "tasks": rows}
 
     # ------------------------------------------------------------------

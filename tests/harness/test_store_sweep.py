@@ -300,3 +300,144 @@ def test_thousand_row_warm_sweep_is_10x_faster(fakepkg, tmp_path):
     assert warm_wall * 10 <= cold_wall, (
         f"warm {warm_wall:.3f}s not >=10x faster than cold {cold_wall:.3f}s"
     )
+
+
+# ----------------------------------------------------------------------
+# Stored telemetry and trace attribution
+# ----------------------------------------------------------------------
+
+
+def _record_bodies(store):
+    import json
+    import os
+
+    bodies = []
+    for entry in store.ls():
+        with open(os.path.join(store.root, entry["path"])) as fh:
+            bodies.append(json.load(fh))
+    return bodies
+
+
+def test_traced_cold_sweep_stores_row_telemetry(tmp_path):
+    from repro.harness.experiments import exp6_merging
+
+    store = ResultStore(str(tmp_path / "store"))
+    obs.enable(label="telemetry", fresh_metrics=True)
+    try:
+        exp6_merging(seeds=range(2), store=store)
+    finally:
+        obs.disable()
+    bodies = _record_bodies(store)
+    assert bodies
+    for record in bodies:
+        telemetry = record.get("telemetry")
+        assert telemetry and telemetry.get("counters")
+        # wall_ms is stripped from stored path aggregates so concurrent
+        # writers racing on one key still write byte-identical records
+        for agg in (telemetry.get("paths") or {}).values():
+            assert "wall_ms" not in agg
+
+
+def test_untraced_sweep_stores_no_telemetry(tmp_path):
+    from repro.harness.experiments import exp6_merging
+
+    store = ResultStore(str(tmp_path / "store"))
+    exp6_merging(seeds=range(2), store=store)
+    assert all("telemetry" not in r for r in _record_bodies(store))
+
+
+def test_traced_parallel_cold_sweep_stores_counter_telemetry(tmp_path):
+    from repro.harness.experiments import exp6_merging
+
+    store = ResultStore(str(tmp_path / "store"))
+    obs.enable(label="telemetry-pool", fresh_metrics=True)
+    try:
+        exp6_merging(seeds=range(2), store=store, jobs=2)
+    finally:
+        obs.disable()
+    bodies = _record_bodies(store)
+    assert bodies
+    for record in bodies:
+        telemetry = record.get("telemetry")
+        # worker spans stay in the workers: pool rows carry counters only
+        assert telemetry and telemetry.get("counters")
+        assert "paths" not in telemetry
+
+
+def test_traced_store_sweep_table_matches_untraced(tmp_path):
+    from repro.harness.experiments import exp6_merging
+
+    plain_store = ResultStore(str(tmp_path / "plain"))
+    plain = exp6_merging(seeds=range(2), store=plain_store).render()
+
+    traced_store = ResultStore(str(tmp_path / "traced"))
+    obs.enable(label="oracle", fresh_metrics=True)
+    try:
+        cold = exp6_merging(seeds=range(2), store=traced_store).render()
+        warm = exp6_merging(seeds=range(2), store=traced_store).render()
+    finally:
+        obs.disable()
+    assert cold == plain
+    assert warm == plain
+
+
+def test_cold_vs_warm_trace_attributes_saved_work_to_store_execute(tmp_path):
+    from repro.harness.experiments import exp3_extraction
+    from repro.obs.analyze import diff_traces
+    from repro.obs.export import trace_records
+
+    store = ResultStore(str(tmp_path / "store"))
+
+    def traced(label):
+        obs.enable(label=label, fresh_metrics=True)
+        try:
+            exp3_extraction(ns=(3,), seeds=(0,), store=store)
+            return trace_records(obs.tracer(), registry=obs.metrics())
+        finally:
+            obs.disable()
+
+    cold = traced("cold")
+    store.stats.reset()
+    warm = traced("warm")
+    assert store.stats.hits and not store.stats.misses  # warm run all hits
+
+    diff = diff_traces(cold, warm)
+    moved = [d for d in diff.significant() if d.tick_significant]
+    assert moved  # the warm run did strictly less deterministic work
+    execute_paths = [d.path for d in moved if "store.execute" in d.path]
+    assert execute_paths
+    # Every tick shift is the execute phase itself or an ancestor of it:
+    # the lookup phase costs no logical ticks either way.
+    for delta in moved:
+        assert "store.execute" in delta.path or any(
+            p.startswith(delta.path + "/") for p in execute_paths
+        ), delta.path
+        assert delta.tick_delta <= 0
+    # The kernel ran only in the cold sweep.
+    a, b = diff.counter_deltas["kernel.steps"]
+    assert a > b == 0
+
+
+def test_diff_tasks_with_telemetry_pairs_signatures(fakepkg, tmp_path):
+    store = pkg_store(fakepkg, tmp_path)
+    log = str(tmp_path / "runs.log")
+    task = (fakepkg.alpha.alpha_task, {"seed": 0, "log": log})
+    key = store.key_for(*task)
+    store.store(key, ("alpha-v1", 0), telemetry={"counters": {"work": 3}})
+
+    (fakepkg.dir / "alpha.py").write_text(ALPHA_V2)
+    fakepkg.alpha = importlib.reload(fakepkg.alpha)
+    store.refresh_signatures()
+    task_v2 = (fakepkg.alpha.alpha_task, {"seed": 0, "log": log})
+    key_v2 = store.key_for(*task_v2)
+    assert key_v2.digest == key.digest and key_v2.signature != key.signature
+    store.store(key_v2, ("alpha-v2", 0), telemetry={"counters": {"work": 7}})
+
+    diff = store.diff_tasks([task_v2], with_telemetry=True)
+    row = diff["tasks"][0]
+    assert row["status"] == "hit"
+    assert row["telemetry"] == {"counters": {"work": 7}}
+    assert row["previous_telemetry"] == {"counters": {"work": 3}}
+
+    without = store.diff_tasks([task_v2])
+    assert "telemetry" not in without["tasks"][0]

@@ -384,3 +384,59 @@ class TestCapabilityProbeAndFallback:
         vectors = batch.control_vectors()
         assert list(vectors["time"]) == [r.final_time for r in results]
         assert list(vectors["decided"]) == [len(r.decisions) for r in results]
+
+
+class TestWaveStats:
+    """The per-wave occupancy/retirement curves ``run()`` records."""
+
+    def test_retirement_curve_accounts_for_every_fast_lane(self):
+        batch = BatchSystem(corner_specs())
+        batch.run()
+        stats = batch.stats
+        occupancy, retired = stats["wave_occupancy"], stats["wave_retired"]
+        assert stats["waves"] == len(occupancy) == len(retired) >= 1
+        assert occupancy[0] == stats["fast"]
+        assert sum(retired) == stats["fast"]
+        # Lanes only ever leave the batch: each wave's exits are exactly
+        # the next wave's shrinkage.
+        for i in range(len(occupancy) - 1):
+            assert occupancy[i] - retired[i] == occupancy[i + 1]
+
+    def test_curves_are_deterministic(self):
+        specs = corner_specs()[:6]
+        a, b = BatchSystem(specs), BatchSystem(specs)
+        a.run()
+        b.run()
+        assert a.stats["wave_occupancy"] == b.stats["wave_occupancy"]
+        assert a.stats["wave_retired"] == b.stats["wave_retired"]
+
+    def test_traced_batch_bit_identical_with_span_and_fallback_events(self):
+        specs = corner_specs()[:4]
+        ref = BatchSystem(specs).run()
+        obs.enable(fresh_metrics=True)
+        try:
+            batch = BatchSystem(specs)
+            got = batch.run()
+            records = list(obs.tracer().records)
+        finally:
+            obs.disable()
+        for r, g in zip(ref, got):
+            assert canon_steps(r.steps) == canon_steps(g.steps)
+            assert r.decisions == g.decisions
+        # Tracing demotes every lane, so the batch has no fused waves ...
+        assert batch.stats["fallback"] == len(specs)
+        assert batch.stats["waves"] == 0
+        assert batch.stats["wave_occupancy"] == []
+        # ... but the trace names the run and each demoted lane.
+        spans = [
+            r for r in records
+            if r.get("type") == "span" and r["name"] == "batch.run"
+        ]
+        assert len(spans) == 1
+        assert spans[0]["attrs"]["fallback"] == len(specs)
+        events = [
+            r for r in records
+            if r.get("type") == "event" and r["name"] == "batch.fallback"
+        ]
+        assert [e["attrs"]["lane"] for e in events] == list(range(len(specs)))
+        assert {e["attrs"]["reason"] for e in events} == {"obs-enabled"}

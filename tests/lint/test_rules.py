@@ -418,6 +418,62 @@ class TestGuardedInstrumentation:
         """
         assert codes(src, module=TESTS) == []
 
+    def test_store_module_unguarded_flagged(self):
+        # The result store grew store.hit/miss/digest counters; RPR301
+        # must police that module like any other repro.* package.
+        src = """
+        from repro import obs as _obs
+
+        def key_for(fn, kwargs):
+            _obs.metrics().inc("store.digest")
+        """
+        assert codes(src, module="repro.store.store") == ["RPR301"]
+
+    def test_store_module_guarded_clean(self):
+        src = """
+        from repro import obs as _obs
+
+        def key_for(fn, kwargs):
+            if _obs._ENABLED:
+                _obs.metrics().inc("store.digest")
+        """
+        assert codes(src, module="repro.store.store") == []
+
+    def test_spec_module_unguarded_flagged(self):
+        # Sweep specs root the trace path tree with a sweep.spec span.
+        src = """
+        from repro import obs as _obs
+
+        def run(self):
+            with _obs.tracer().span("sweep.spec"):
+                pass
+        """
+        assert codes(src, module="repro.harness.spec") == ["RPR301"]
+
+    def test_spec_module_guarded_clean(self):
+        src = """
+        from repro import obs as _obs
+
+        def run(self):
+            if _obs._ENABLED:
+                with _obs.tracer().span("sweep.spec"):
+                    return 1
+            return 1
+        """
+        assert codes(src, module="repro.harness.spec") == []
+
+    def test_conditional_expression_guard_clean(self):
+        # The `x if _obs._ENABLED else None` idiom used by the sweep
+        # driver's store path counts as a guard.
+        src = """
+        from repro import obs as _obs
+
+        def lookup():
+            tracer = _obs.tracer() if _obs._ENABLED else None
+            return tracer
+        """
+        assert codes(src, module="repro.harness.parallel") == []
+
 
 class TestRegistry:
     def test_all_nine_codes_registered(self):

@@ -55,6 +55,42 @@ class TestCheckRegression:
         assert proc.returncode == 0
         assert "no throughput regression" in proc.stdout
 
+    def test_help_names_attribute_option(self):
+        proc = run_script("check_regression.py", "--help")
+        assert proc.returncode == 0
+        assert "--attribute" in proc.stdout
+        assert "TRACE_A" in proc.stdout
+
+    def test_failure_prints_attribution_diff(self, tmp_path):
+        sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+        try:
+            from repro.obs.export import write_trace
+            from repro.obs.tracer import Tracer
+
+            traces = []
+            for name, ticks in (("a.jsonl", [0, 100]), ("b.jsonl", [0, 400])):
+                tracer = Tracer("attr-test")
+                with tracer.span("kernel.run", clock=iter(ticks).__next__):
+                    pass
+                path = str(tmp_path / name)
+                write_trace(path, tracer)
+                traces.append(path)
+        finally:
+            sys.path.pop(0)
+
+        with open(os.path.join(REPO_ROOT, "BENCH_kernel.json")) as fh:
+            report = json.load(fh)
+        for trace in ("full", "metrics"):
+            report["kernel"][trace]["steps_per_sec"] = 1
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(report))
+        proc = run_script(
+            "check_regression.py", str(slow), "--attribute", *traces
+        )
+        assert proc.returncode == 1
+        assert "attribution" in proc.stdout
+        assert "kernel.run" in proc.stdout
+
 
 class TestCheckTraceSchema:
     def test_help(self):

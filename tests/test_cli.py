@@ -367,3 +367,174 @@ class TestExperimentStoreFlag:
         assert main(args) == 0
         warm = capsys.readouterr().out
         assert "0 miss(es)" in warm and "hit rate 100.0%" in warm
+
+
+class TestTraceAnalyticsCommands:
+    def _trace(self, tmp_path, capsys, name="a.jsonl"):
+        path = tmp_path / name
+        assert (
+            main(["experiment", "exp6", "--quick", "--trace-out", str(path)])
+            == 0
+        )
+        capsys.readouterr()
+        return str(path)
+
+    def test_diff_same_seed_run_is_tick_exact(self, capsys, tmp_path):
+        a = self._trace(tmp_path, capsys, "a.jsonl")
+        b = self._trace(tmp_path, capsys, "b.jsonl")
+        assert main(["trace", "diff", a, b, "--expect-equal-ticks"]) == 0
+        out = capsys.readouterr().out
+        assert "EXACT" in out
+        assert "0 differ" in out.split("wall noise floor")[0]
+
+    def test_diff_different_workloads_fails_equal_ticks_gate(
+        self, capsys, tmp_path
+    ):
+        a = self._trace(tmp_path, capsys, "a.jsonl")
+        other = tmp_path / "extract.jsonl"
+        assert (
+            main(
+                ["extract", "--n", "3", "--crash", "2:15",
+                 "--trace-out", str(other)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(["trace", "diff", a, str(other), "--expect-equal-ticks"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+
+    def test_diff_needs_exactly_two_traces(self, capsys, tmp_path):
+        a = self._trace(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="TRACE_A TRACE_B"):
+            main(["trace", "diff", a])
+
+    def test_flame_renders_path_tree(self, capsys, tmp_path):
+        a = self._trace(tmp_path, capsys)
+        assert main(["trace", "flame", a]) == 0
+        out = capsys.readouterr().out
+        assert "flame (" in out
+        assert "exp.exp6" in out
+        assert "#" in out
+
+    def test_plain_file_form_rejects_extra_arguments(self, capsys, tmp_path):
+        a = self._trace(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="unexpected extra"):
+            main(["trace", a, a])
+
+    def test_diff_rejects_invalid_trace(self, capsys, tmp_path):
+        a = self._trace(tmp_path, capsys)
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span", "sid": 0}\n')
+        assert main(["trace", "diff", a, str(bad)]) == 1
+        assert "invalid" in capsys.readouterr().out
+
+
+class TestObsReportCommand:
+    def test_report_is_written_and_self_contained(self, capsys, tmp_path):
+        trace = tmp_path / "exp6.jsonl"
+        assert (
+            main(
+                ["experiment", "exp6", "--quick", "--trace-out", str(trace)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        out_html = tmp_path / "obs.html"
+        assert (
+            main(
+                [
+                    "obs", "report",
+                    "--trace", str(trace),
+                    "--no-store",
+                    "--output", str(out_html),
+                    "--title", "unit report",
+                ]
+            )
+            == 0
+        )
+        assert "report written" in capsys.readouterr().out
+        html = out_html.read_text()
+        assert html.lstrip().lower().startswith("<!doctype html")
+        assert "unit report" in html
+        assert "exp.exp6" in html
+        # Self-contained: no external scripts, stylesheets or images.
+        for marker in ("<script src=", "http://", "https://", "<img src="):
+            assert marker not in html
+
+    def test_report_notes_unreadable_inputs_instead_of_failing(
+        self, capsys, tmp_path
+    ):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span", "sid": 0}\n')
+        out_html = tmp_path / "obs.html"
+        assert (
+            main(
+                [
+                    "obs", "report",
+                    "--trace", str(bad),
+                    "--bench-kernel", str(tmp_path / "absent.json"),
+                    "--no-store",
+                    "--output", str(out_html),
+                ]
+            )
+            == 0
+        )
+        html = out_html.read_text()
+        assert "skipped" in html
+
+
+class TestStoreDiffCounters:
+    def test_untraced_rows_report_no_telemetry(self, capsys, tmp_path):
+        spec = tmp_path / "sweep.toml"
+        spec.write_text(TestSweepCommand.SPEC)
+        store_dir = str(tmp_path / "store")
+        assert main(["sweep", str(spec), "--store-dir", store_dir]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                ["store", "diff", str(spec), "--store-dir", store_dir,
+                 "--counters"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "no rows carry telemetry under both signatures" in out
+
+    def test_counter_delta_summation(self, capsys):
+        from repro.store.cli import _print_counter_deltas
+
+        entry = {
+            "tasks": [
+                {
+                    "telemetry": {"counters": {"x": 5, "y": 3}},
+                    "previous_telemetry": {"counters": {"x": 2, "y": 3}},
+                },
+                {
+                    "telemetry": {"counters": {"x": 1}},
+                    "previous_telemetry": {"counters": {"x": 0}},
+                },
+                {"telemetry": None, "previous_telemetry": None},
+            ]
+        }
+        _print_counter_deltas(entry)
+        out = capsys.readouterr().out
+        assert "counter deltas over 2 telemetry row(s)" in out
+        assert "2 -> 6 (+4)" in out  # x summed across rows
+        # unchanged counters are elided
+        assert not any(line.strip().startswith("y") for line in out.splitlines())
+
+    def test_identical_telemetry_reports_identical(self, capsys):
+        from repro.store.cli import _print_counter_deltas
+
+        entry = {
+            "tasks": [
+                {
+                    "telemetry": {"counters": {"x": 5}},
+                    "previous_telemetry": {"counters": {"x": 5}},
+                }
+            ]
+        }
+        _print_counter_deltas(entry)
+        assert "identical across 1" in capsys.readouterr().out
