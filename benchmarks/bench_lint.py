@@ -1,0 +1,106 @@
+"""Cold-vs-warm lint benchmark: the incremental cache must pay for itself.
+
+``python benchmarks/bench_lint.py [--paths src ...] [--output FILE]``
+
+Runs the whole-program linter twice against a fresh result store:
+
+* **cold** — every file is parsed, single-file rules run, facts extracted,
+  and the record stored;
+* **warm** — every per-file record replays from the store; only the
+  project phase (graph build + flow rules) executes.
+
+Both runs must produce byte-identical reports (the engine's contract);
+the report records wall times, the speedup, and the cache hit counts.
+CI gates on the result with ``check_regression.py --lint``: a warm run
+slower than 3x cold means the cache stopped earning its keep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.lint.engine import run_lint  # noqa: E402
+from repro.lint.project.cache import FactsCache  # noqa: E402
+from repro.lint.reporters import render_json  # noqa: E402
+from repro.store.store import ResultStore  # noqa: E402
+
+BENCH_SCHEMA = "repro-bench-lint/1"
+
+
+def bench(paths, repeats: int = 1) -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-lint-bench-") as root:
+        t0 = time.perf_counter()
+        cold = run_lint(paths, cache=FactsCache(ResultStore(root)))
+        cold_s = time.perf_counter() - t0
+
+        warm_s = float("inf")
+        warm = None
+        for _ in range(max(1, repeats)):
+            cache = FactsCache(ResultStore(root))
+            t0 = time.perf_counter()
+            warm = run_lint(paths, cache=cache)
+            warm_s = min(warm_s, time.perf_counter() - t0)
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "paths": list(paths),
+        "files": cold.files_checked,
+        "findings": len(cold.findings),
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "speedup": round(cold_s / warm_s, 2) if warm_s else None,
+        "identical": render_json(cold) == render_json(warm),
+        "warm_hits": warm.cache_stats["hits"],
+        "warm_misses": warm.cache_stats["misses"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--paths",
+        nargs="+",
+        default=[os.path.join(REPO_ROOT, "src")],
+        metavar="PATH",
+        help="files/directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="warm runs to take the best of (default 3)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    report = bench(args.paths, repeats=args.repeats)
+    print(
+        f"lint[{report['files']} files]: cold {report['cold_s']}s, "
+        f"warm {report['warm_s']}s ({report['speedup']}x), "
+        f"warm cache {report['warm_hits']} hit(s) / "
+        f"{report['warm_misses']} miss(es), "
+        f"reports {'byte-identical' if report['identical'] else 'DIVERGED'}"
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0 if report["identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

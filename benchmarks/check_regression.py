@@ -96,6 +96,36 @@ def check_chaos(seed: int, jobs: int) -> int:
     return 0
 
 
+def check_lint(report_path: str, min_speedup: float) -> int:
+    """Gate the lint cold/warm report: warm must be >= min_speedup x cold
+    with byte-identical findings.  See ``bench_lint.py``."""
+    with open(report_path) as fh:
+        report = json.load(fh)
+    speedup = report.get("speedup") or 0.0
+    identical = bool(report.get("identical"))
+    failures = []
+    status = "ok" if identical else "FAIL"
+    print(
+        f"lint[{report.get('files', '?')} files]: cold {report['cold_s']}s, "
+        f"warm {report['warm_s']}s, reports "
+        f"{'byte-identical' if identical else 'DIVERGED'} [{status}]"
+    )
+    if not identical:
+        failures.append("warm-report-diverged")
+    status = "FAIL" if speedup < min_speedup else "ok"
+    print(
+        f"lint[warm speedup]: {speedup}x vs required {min_speedup}x "
+        f"[{status}]"
+    )
+    if speedup < min_speedup:
+        failures.append("warm-speedup")
+    if failures:
+        print("lint cache regressed in: " + ", ".join(failures), file=sys.stderr)
+        return 1
+    print("lint cache healthy: warm runs are fast and byte-identical")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0],
@@ -153,6 +183,21 @@ def main(argv=None) -> int:
         "(semantic gate; ignores the benchmark report arguments)",
     )
     parser.add_argument(
+        "--lint",
+        default=None,
+        metavar="BENCH_LINT_JSON",
+        help="gate a bench_lint.py report instead: warm must be at least "
+        "--lint-speedup times faster than cold and byte-identical to it",
+    )
+    parser.add_argument(
+        "--lint-speedup",
+        type=float,
+        default=3.0,
+        metavar="X",
+        help="minimum warm-over-cold lint speedup (only with --lint, "
+        "default 3.0)",
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=0,
@@ -170,8 +215,12 @@ def main(argv=None) -> int:
 
     if args.chaos:
         return check_chaos(args.seed, args.jobs)
+    if args.lint:
+        return check_lint(args.lint, args.lint_speedup)
     if args.new is None:
-        parser.error("a fresh BENCH_kernel.json is required without --chaos")
+        parser.error(
+            "a fresh BENCH_kernel.json is required without --chaos/--lint"
+        )
 
     baseline = None
     if args.store_baseline:

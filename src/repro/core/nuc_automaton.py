@@ -197,14 +197,14 @@ class AnucAutomaton(Automaton):
         proposals = state.received(PROP, state.k)
         if not quorum or not quorum <= set(proposals):
             return
-        for q in quorum:  # line 27
+        for q in sorted(quorum):  # line 27
             self._import_history(state, proposals[q][3])
         if self.enable_distrust and any(
             distrusts(state.history, state.pid, q, state.n) for q in quorum
         ):
             return  # lines 25-28: retry with the next step's quorum
 
-        quorum_values = {q: proposals[q][2] for q in quorum}
+        quorum_values = {q: proposals[q][2] for q in sorted(quorum)}
         non_unknown = sorted(
             (q, v) for q, v in quorum_values.items() if v != UNKNOWN
         )

@@ -268,17 +268,18 @@ def sample_history_cached(
         return detector.sample_history(pattern, random.Random(seed ^ salt))
     key = (detector_key, pattern, seed ^ salt)
     try:
-        history = _history_cache.pop(key)
-        _history_cache[key] = history  # re-insert: most recently used
-        _history_cache_hits += 1
+        history = _history_cache.pop(key)  # repro: noqa RPR401 -- LRU memo of a pure function: same key, same history in every worker
+        # re-insert: most recently used
+        _history_cache[key] = history  # repro: noqa RPR401 -- pure-function memo; worker-local reordering cannot change results
+        _history_cache_hits += 1  # repro: noqa RPR401 -- diagnostic counter only (history_cache_info), never feeds results
         return history
     except KeyError:
         pass
     history = detector.sample_history(pattern, random.Random(seed ^ salt))
-    _history_cache[key] = history
-    _history_cache_misses += 1
+    _history_cache[key] = history  # repro: noqa RPR401 -- pure-function memo; a forked worker just re-fills it
+    _history_cache_misses += 1  # repro: noqa RPR401 -- diagnostic counter only (history_cache_info), never feeds results
     while len(_history_cache) > HISTORY_CACHE_MAXSIZE:
-        _history_cache.popitem(last=False)
+        _history_cache.popitem(last=False)  # repro: noqa RPR401 -- LRU eviction of the pure-function memo
     return history
 
 

@@ -19,7 +19,9 @@ from typing import Any, Dict, Iterable, List, Set, Tuple
 
 from repro.lint.findings import Finding
 
-SCHEMA = "repro-lint-baseline/1"
+#: /2 added the per-line occurrence index to the fingerprint basis, so two
+#: identical findings on one line no longer collapse into a single entry.
+SCHEMA = "repro-lint-baseline/2"
 
 
 @dataclass

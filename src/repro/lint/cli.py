@@ -11,8 +11,8 @@ from typing import Optional
 
 from repro.lint.baseline import Baseline
 from repro.lint.engine import run_lint
-from repro.lint.registry import all_rules
-from repro.lint.reporters import render_json, render_text
+from repro.lint.registry import all_project_rules, all_rules
+from repro.lint.reporters import render_json, render_sarif, render_text
 
 
 def add_arguments(parser) -> None:
@@ -25,9 +25,17 @@ def add_arguments(parser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="stdout report format (default: text)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="serve per-file analysis from the content-addressed result "
+        "store (REPRO_STORE_DIR or benchmarks/results/store); only files "
+        "whose (content, rule-set) moved are re-parsed — findings are "
+        "byte-identical to a cold run",
     )
     parser.add_argument(
         "--baseline",
@@ -75,6 +83,9 @@ def cmd_lint(args) -> int:
             )
             print(f"{rule.code} {rule.name} [{scope}]")
             print(f"    {rule.summary}")
+        for rule in all_project_rules():
+            print(f"{rule.code} {rule.name} [whole-program]")
+            print(f"    {rule.summary}")
         return 0
 
     baseline: Optional[Baseline] = None
@@ -85,11 +96,32 @@ def cmd_lint(args) -> int:
             print(f"error: cannot load baseline: {exc}", file=sys.stderr)
             return 2
 
+    cache = None
+    if args.changed:
+        from repro.lint.project.cache import FactsCache
+
+        cache = FactsCache()
+        if not cache.usable:
+            print(
+                "warning: repro.lint has no code signature here; "
+                "running cold",
+                file=sys.stderr,
+            )
+            cache = None
+
     try:
-        result = run_lint(args.paths, baseline=baseline)
+        result = run_lint(args.paths, baseline=baseline, cache=cache)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if result.cache_stats is not None:
+        # stderr only: warm and cold stdout/artifacts stay byte-identical.
+        print(
+            f"lint cache: {result.cache_stats['hits']} hit(s), "
+            f"{result.cache_stats['misses']} miss(es)",
+            file=sys.stderr,
+        )
 
     if args.write_baseline:
         new_baseline = Baseline.from_findings(result.findings)
@@ -106,6 +138,8 @@ def cmd_lint(args) -> int:
 
     if args.format == "json":
         sys.stdout.write(render_json(result))
+    elif args.format == "sarif":
+        sys.stdout.write(render_sarif(result))
     else:
         print(render_text(result, verbose=args.verbose))
 

@@ -1,10 +1,22 @@
 """Lint engine: file collection, rule execution, suppression & baseline.
 
-The engine parses each file once, hands the shared :class:`FileContext` to
-every rule whose scope covers the file's module, then applies inline
-``# repro: noqa`` suppressions and the optional baseline.  Everything is
-pure and deterministic: files are visited in sorted order and findings are
-sorted by (path, line, col, code).
+Two phases, both pure and deterministic:
+
+1. **Per-file** — parse once into a :class:`FileContext`, run every
+   single-file rule whose scope covers the module, and extract the file's
+   :class:`~repro.lint.project.facts.FileFacts`.  With a
+   :class:`~repro.lint.project.cache.FactsCache` attached
+   (``repro lint --changed``), this whole phase is skipped for files whose
+   (content, rule-set) pair is already in the result store — findings and
+   facts replay from the cached record.
+2. **Project** — build the :class:`~repro.lint.project.graph.Project` from
+   all facts and run the flow-aware rules over it.  This phase always
+   runs (it is cross-file by construction) but needs no ASTs, which is why
+   warm runs are fast *and* byte-identical to cold runs.
+
+Files are visited in sorted order and findings are sorted by
+(path, line, col, code); inline ``# repro: noqa`` suppressions and the
+optional baseline apply uniformly to both phases.
 """
 
 from __future__ import annotations
@@ -14,13 +26,18 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.lint.baseline import Baseline
-from repro.lint.context import FileContext
+from repro.lint.context import FileContext, module_name_for_path
 from repro.lint.findings import Finding, assign_occurrences
 from repro.lint.noqa import Suppression, parse_suppressions, suppression_for
-from repro.lint.registry import all_rules
+from repro.lint.project.cache import FactsCache
+from repro.lint.project.facts import FileFacts, extract_facts
+from repro.lint.project.graph import build_project
+from repro.lint.registry import all_project_rules, all_rules
 
-#: Directory names never descended into.
-SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "results", ".github"}
+#: Directory names never descended into.  ``fixtures`` holds committed
+#: multi-file lint fixtures (intentionally violating rules); tests copy
+#: them into temp trees before linting them.
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "results", ".github", "fixtures"}
 
 
 @dataclass
@@ -34,6 +51,9 @@ class LintResult:
     unreasoned_noqa: List[Suppression] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    #: cache accounting for ``--changed`` runs; never serialized into
+    #: reports (warm and cold reports must stay byte-identical)
+    cache_stats: Optional[Dict[str, int]] = None
 
     def exit_code(self, strict: bool = False) -> int:
         if self.findings or self.parse_errors:
@@ -80,63 +100,180 @@ def _raw_findings(ctx: FileContext) -> List[Finding]:
     return found
 
 
-def lint_source(
-    source: str, path: str = "<string>", module: Optional[str] = None
-) -> List[Finding]:
-    """Lint one source string; returns post-suppression findings.
+@dataclass
+class _FileRecord:
+    """One analyzed file: findings, suppression table, project facts."""
 
-    The fixture-driven rule tests build on this: no filesystem involved.
-    """
-    ctx = FileContext(path, source, module=module)
+    path: str
+    module: str
+    findings: List[Finding]
+    suppressions: Dict[int, Suppression]
+    facts: FileFacts
+
+
+def _suppressions_from_facts(facts: FileFacts) -> Dict[int, Suppression]:
+    return {
+        entry["line"]: Suppression(
+            line=entry["line"],
+            codes=frozenset(entry["codes"]),
+            reason=entry["reason"],
+        )
+        for entry in facts.suppressions
+    }
+
+
+def _analyze_file(
+    path: str, source: str, source_sha: str
+) -> Tuple[_FileRecord, Dict]:
+    """Parse + single-file rules + facts; returns the record and its
+    cache payload."""
+    ctx = FileContext(path, source)
     findings = _raw_findings(ctx)
-    suppressions = parse_suppressions(ctx.lines)
-    kept = []
+    facts = extract_facts(ctx, source_sha)
+    # Raw (pre-suppression) single-file findings ride inside the facts:
+    # the flow rules consult them to avoid duplicating in-file reports.
+    facts.findings = [f.to_json() for f in findings]
+    payload = {"facts": facts.to_dict()}
+    record = _FileRecord(
+        path=path,
+        module=ctx.module,
+        findings=findings,
+        suppressions=parse_suppressions(ctx.lines),
+        facts=facts,
+    )
+    return record, payload
+
+
+def _record_from_cache(path: str, module: str, cached: Dict) -> _FileRecord:
+    facts = FileFacts.from_dict(cached["facts"])
+    facts.path = path  # same content may have moved since it was cached
+    findings = [Finding.from_json(d) for d in facts.findings]
     for finding in findings:
-        hit = suppression_for(suppressions, finding.line, finding.code)
+        finding.path = path
+    return _FileRecord(
+        path=path,
+        module=module,
+        findings=findings,
+        suppressions=_suppressions_from_facts(facts),
+        facts=facts,
+    )
+
+
+def _project_findings(records: Sequence[_FileRecord]) -> List[Finding]:
+    project = build_project([r.facts for r in records])
+    found: List[Finding] = []
+    for rule in all_project_rules():
+        found.extend(rule.check(project))
+    found.sort(key=lambda f: (f.path, f.line, f.col, f.code, f.message))
+    return found
+
+
+def _assemble(
+    records: Sequence[_FileRecord],
+    result: "LintResult",
+    baseline: Optional[Baseline],
+) -> None:
+    """Suppressions + project phase + occurrences + baseline, in order."""
+    by_module: Dict[str, _FileRecord] = {}
+    for record in records:
+        by_module.setdefault(record.module, record)
+
+    kept: List[Finding] = []
+    used: Dict[Tuple[str, int], Suppression] = {}
+
+    def fold(finding: Finding, record: _FileRecord) -> None:
+        hit = suppression_for(record.suppressions, finding.line, finding.code)
         if hit is None:
             kept.append(finding)
         else:
             finding.suppressed = True
-    return kept
+            used[(record.module, hit.line)] = hit
+            result.suppressed.append((finding, hit))
 
-
-def run_lint(
-    paths: Sequence[str],
-    baseline: Optional[Baseline] = None,
-) -> LintResult:
-    """Lint files/directories and fold in suppressions and the baseline."""
-    result = LintResult()
-    kept: List[Finding] = []
-    for path in collect_files(paths):
-        try:
-            with open(path, encoding="utf-8") as fh:
-                source = fh.read()
-            ctx = FileContext(path, source)
-        except (SyntaxError, UnicodeDecodeError) as exc:
-            result.parse_errors.append(f"{path}: {exc}")
+    for record in records:
+        for finding in record.findings:
+            fold(finding, record)
+    for finding in _project_findings(records):
+        record = by_module.get(finding.module)
+        if record is None:  # pragma: no cover - module always indexed
+            kept.append(finding)
             continue
-        result.files_checked += 1
-        findings = _raw_findings(ctx)
-        suppressions = parse_suppressions(ctx.lines)
-        used_lines = set()
-        for finding in findings:
-            hit = suppression_for(suppressions, finding.line, finding.code)
-            if hit is None:
-                kept.append(finding)
-            else:
-                finding.suppressed = True
-                used_lines.add(hit.line)
-                result.suppressed.append((finding, hit))
-        for line in sorted(used_lines):
-            if not suppressions[line].reason:
-                result.unreasoned_noqa.append(suppressions[line])
+        fold(finding, record)
 
+    for key in sorted(used):
+        if not used[key].reason:
+            result.unreasoned_noqa.append(used[key])
+
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code, f.message))
     assign_occurrences(kept)
     if baseline is not None:
         fresh, stale = baseline.apply(kept)
         result.baselined = [f for f in kept if f.baselined]
         result.stale_baseline = stale
         kept = fresh
-    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     result.findings = kept
+
+
+def lint_source(
+    source: str, path: str = "<string>", module: Optional[str] = None
+) -> List[Finding]:
+    """Lint one source string; returns post-suppression findings.
+
+    The fixture-driven rule tests build on this: no filesystem involved.
+    Runs both phases — the project phase sees a single-file project, so
+    flow rules needing cross-module context simply find none.
+    """
+    ctx = FileContext(path, source, module=module)
+    findings = _raw_findings(ctx)
+    facts = extract_facts(ctx, FactsCache.source_sha(source.encode("utf-8")))
+    facts.findings = [f.to_json() for f in findings]
+    record = _FileRecord(
+        path=path,
+        module=ctx.module,
+        findings=findings,
+        suppressions=parse_suppressions(ctx.lines),
+        facts=facts,
+    )
+    result = LintResult()
+    _assemble([record], result, baseline=None)
+    return result.findings
+
+
+def run_lint(
+    paths: Sequence[str],
+    baseline: Optional[Baseline] = None,
+    cache: Optional[FactsCache] = None,
+) -> LintResult:
+    """Lint files/directories and fold in suppressions and the baseline.
+
+    With ``cache``, per-file analysis is served from the result store for
+    files whose (content, rule-set signature) is unchanged; only moved
+    files are re-parsed.  Findings are byte-identical either way.
+    """
+    result = LintResult()
+    records: List[_FileRecord] = []
+    for path in collect_files(paths):
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+            source_sha = FactsCache.source_sha(raw)
+            module = module_name_for_path(path)
+            cached = cache.load(module, source_sha) if cache is not None else None
+            if cached is not None:
+                record = _record_from_cache(path, module, cached)
+            else:
+                record, payload = _analyze_file(
+                    path, raw.decode("utf-8"), source_sha
+                )
+                if cache is not None:
+                    cache.save(module, source_sha, payload)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            result.parse_errors.append(f"{path}: {exc}")
+            continue
+        result.files_checked += 1
+        records.append(record)
+
+    _assemble(records, result, baseline)
+    if cache is not None:
+        result.cache_stats = cache.stats()
     return result

@@ -1,0 +1,102 @@
+"""Incremental lint cache: per-file facts content-addressed in the store.
+
+One cached record holds everything the engine needs from a file — its
+single-file findings, its ``# repro: noqa`` table, and its
+:class:`~repro.lint.project.facts.FileFacts` — so a warm
+``repro lint --changed`` run never parses an unchanged file.  The project
+phase always re-runs (it is cross-file by construction), but it replays
+from facts, which is where the >=3x warm speedup comes from.
+
+Addressing reuses :class:`repro.store.store.ResultStore` verbatim:
+
+* ``digest`` — SHA-256 over ``(module, source sha)``: the *row* is the
+  file's content, so the same content at a moved path still hits;
+* ``signature`` — the import-closure signature of :mod:`repro.lint`
+  itself (:func:`ruleset_signature`): editing any rule, the engine, or
+  this package invalidates every cached record, exactly like editing a
+  sweep task's code invalidates its rows.  ``repro store gc`` therefore
+  collects stale lint records with no special casing — the record's
+  ``fn`` field is ``repro.lint:facts`` and gc recomputes the module
+  signature from that name;
+* cache state never reaches reports: a warm run's findings are
+  byte-identical to a cold run's by construction, and the hit/miss stats
+  live only on this object (surfaced on stderr, never in ``--output``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Optional
+
+from repro.lint.project.facts import FACTS_SCHEMA
+from repro.store.signature import ModuleSignatureIndex, default_index
+from repro.store.store import ResultStore, TaskKey, default_store_root
+
+#: The pseudo task identity of a cached lint-facts record; the module part
+#: ("repro.lint") is what ``repro store gc`` re-signatures stale records by.
+CACHE_FN = "repro.lint:facts"
+
+CACHE_SCHEMA = "repro-lint-cache/1"
+
+
+def ruleset_signature(index: Optional[ModuleSignatureIndex] = None) -> Optional[str]:
+    """The import-closure signature of the linter itself.
+
+    ``None`` outside a source checkout (no registered root) — the engine
+    then simply runs cold.
+    """
+    return (index or default_index()).signature("repro.lint")
+
+
+class FactsCache:
+    """Content-addressed per-file lint records over the result store."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        index: Optional[ModuleSignatureIndex] = None,
+    ):
+        self.store = store or ResultStore(default_store_root(), index=index)
+        self.signature = ruleset_signature(index or self.store.index)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def usable(self) -> bool:
+        return self.signature is not None
+
+    @staticmethod
+    def source_sha(source_bytes: bytes) -> str:
+        return hashlib.sha256(source_bytes).hexdigest()
+
+    def key(self, module: str, source_sha: str) -> TaskKey:
+        digest = hashlib.sha256(
+            f"{CACHE_SCHEMA}\x00{module}\x00{source_sha}".encode("utf-8")
+        ).hexdigest()
+        return TaskKey(digest=digest, signature=self.signature, fn=CACHE_FN)
+
+    def load(self, module: str, source_sha: str) -> Optional[Dict[str, Any]]:
+        """The cached record for this exact (content, rule-set), or None."""
+        if not self.usable:
+            return None
+        status, value = self.store.load(self.key(module, source_sha))
+        if (
+            status == "hit"
+            and isinstance(value, dict)
+            and value.get("schema") == CACHE_SCHEMA
+            and value.get("facts", {}).get("schema") == FACTS_SCHEMA
+        ):
+            self.hits += 1
+            return value
+        self.misses += 1
+        return None
+
+    def save(self, module: str, source_sha: str, record: Dict[str, Any]) -> None:
+        if not self.usable:
+            return
+        payload = dict(record)
+        payload["schema"] = CACHE_SCHEMA
+        self.store.store(self.key(module, source_sha), payload)
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

@@ -1,0 +1,387 @@
+"""The project graph: symbols, module graph, call graph, class hierarchy.
+
+Built purely from :class:`~repro.lint.project.facts.FileFacts` records —
+no AST survives to this layer, which is what makes warm runs possible:
+cached facts replay into an identical :class:`Project`.
+
+Identifiers
+-----------
+* a *module* is its dotted name (``repro.kernel.system``),
+* a *function id* (fid) is ``module:qualname`` (``repro.kernel.system:step``,
+  ``repro.consensus.nonuniform:Proposer.on_deliver``, ``mod:<module>`` for
+  import-time code),
+* a *class id* (cid) is ``module:ClassName``.
+
+Resolution follows from-imports, module imports, top-level value bindings
+(``pick = random.choice``) and re-export chains (``__init__`` forwarding),
+with a visited set so import cycles terminate.  Anything leaving the linted
+file set resolves to ``("external", dotted)`` — precise enough to recognize
+``repro.kernel.automaton.Automaton`` ancestry even when only a subtree is
+being linted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.project.facts import MODULE_SCOPE, FileFacts
+from repro.lint.rules.fidelity import AUTOMATON_HOME_MODULES
+
+#: Where the harness's store-keyed / forked entry points live.
+SWEEP_TASK_CLASS = "repro.harness.parallel:SweepTask"
+RUN_SWEEP_FN = "repro.harness.parallel:run_sweep"
+
+
+def is_sweep_task_ctor(res: Optional["Resolution"]) -> bool:
+    """Does a resolution name the SweepTask constructor?  Accepts the
+    external form too — a subtree lint may not include the harness files."""
+    return res in (
+        ("class", SWEEP_TASK_CLASS),
+        ("external", "repro.harness.parallel.SweepTask"),
+    )
+
+
+def is_run_sweep(res: Optional["Resolution"]) -> bool:
+    return res in (
+        ("function", RUN_SWEEP_FN),
+        ("external", "repro.harness.parallel.run_sweep"),
+    )
+
+#: Class roots whose subclass trees carry the model-fidelity contract.
+_CHA_ROOT_NAMES = ("Automaton", "Process", "FailureDetector")
+_CHA_HOME_PREFIXES = AUTOMATON_HOME_MODULES + (
+    "repro.kernel",
+    "repro.detectors",
+)
+
+Resolution = Tuple[str, str]  # (kind, identifier)
+
+
+class Project:
+    """The whole-program view the flow-aware rules query."""
+
+    def __init__(self, facts_by_module: Dict[str, FileFacts]):
+        self.facts = facts_by_module
+        #: fid -> function facts dict (same shape as FileFacts.functions values)
+        self.functions: Dict[str, Dict[str, Any]] = {}
+        #: cid -> class record with ``resolved_bases`` added
+        self.classes: Dict[str, Dict[str, Any]] = {}
+        for module, facts in facts_by_module.items():
+            for qual, fn in facts.functions.items():
+                self.functions[f"{module}:{qual}"] = fn
+            for name, cls in facts.classes.items():
+                self.classes[f"{module}:{name}"] = dict(cls)
+        self._resolve_bases()
+        #: cid -> names of the contract roots its ancestry reaches
+        self.class_roots: Dict[str, Set[str]] = self._root_closure()
+        self.automaton_classes: Set[str] = {
+            cid
+            for cid, roots in self.class_roots.items()
+            if roots & {"Automaton", "Process"}
+        }
+        #: fid -> [(call_fact, target_fid or None)]
+        self.call_edges: Dict[str, List[Tuple[Dict[str, Any], Optional[str]]]] = {}
+        #: target fid -> sorted caller fids
+        self.callers: Dict[str, List[str]] = {}
+        self._build_call_graph()
+
+    # ------------------------------------------------------------------
+    # Symbol resolution
+    # ------------------------------------------------------------------
+
+    def resolve(
+        self,
+        module: str,
+        dotted: str,
+        _seen: Optional[Set[Tuple[str, str]]] = None,
+    ) -> Optional[Resolution]:
+        """What ``dotted`` names inside ``module``.
+
+        Returns ``("function", fid)``, ``("class", cid)``,
+        ``("module", modname)``, ``("external", dotted)`` for names leaving
+        the linted file set, or ``None`` for unresolvable locals/builtins.
+        """
+        facts = self.facts.get(module)
+        if facts is None:
+            return ("external", dotted)
+        if _seen is None:
+            _seen = set()
+        if (module, dotted) in _seen:
+            return None  # import cycle: give up on this chain
+        _seen.add((module, dotted))
+
+        parts = dotted.split(".")
+        head, rest = parts[0], parts[1:]
+
+        if not rest:
+            if head in facts.functions and head != MODULE_SCOPE:
+                return ("function", f"{module}:{head}")
+            if head in facts.classes:
+                return ("class", f"{module}:{head}")
+        elif head in facts.classes and len(rest) == 1:
+            qual = f"{head}.{rest[0]}"
+            if qual in facts.functions:
+                return ("function", f"{module}:{qual}")
+            # Inherited method: look up the hierarchy.
+            hit = self.mro_lookup(f"{module}:{head}", rest[0])
+            if hit is not None:
+                return ("function", hit)
+
+        if head in facts.from_imports:
+            src_mod, orig = facts.from_imports[head]
+            target = ".".join([src_mod, orig] + rest)
+            return self.resolve_qualified(target, _seen)
+        if head in facts.module_imports:
+            target = ".".join([facts.module_imports[head]] + rest)
+            return self.resolve_qualified(target, _seen)
+        if head in facts.bindings:
+            target = ".".join([facts.bindings[head]] + rest)
+            return self.resolve(module, target, _seen)
+        return None
+
+    def resolve_qualified(
+        self,
+        full: str,
+        _seen: Optional[Set[Tuple[str, str]]] = None,
+    ) -> Optional[Resolution]:
+        """Resolve an absolute dotted path against the linted module set."""
+        parts = full.split(".")
+        for i in range(len(parts), 0, -1):
+            modname = ".".join(parts[:i])
+            if modname in self.facts:
+                rest = parts[i:]
+                if not rest:
+                    return ("module", modname)
+                res = self.resolve(modname, ".".join(rest), _seen)
+                if res is not None:
+                    return res
+                # The anchor module doesn't define the name — typically a
+                # package __init__ linted without the submodule that does.
+                # Keep shortening; the rooted name is still meaningful as
+                # an external (SweepTask/CHA-root recognition needs it).
+        return ("external", full)
+
+    # ------------------------------------------------------------------
+    # Class hierarchy
+    # ------------------------------------------------------------------
+
+    def _resolve_bases(self) -> None:
+        for cid in sorted(self.classes):
+            module = cid.split(":", 1)[0]
+            resolved: List[Resolution] = []
+            for base in self.classes[cid]["bases"]:
+                res = self.resolve(module, base)
+                if res is not None:
+                    resolved.append(res)
+            self.classes[cid]["resolved_bases"] = resolved
+
+    def _is_root_external(self, dotted: str) -> bool:
+        """Does an unresolved base evidently name a known contract root?"""
+        head, _, leaf = dotted.rpartition(".")
+        if leaf not in _CHA_ROOT_NAMES:
+            return False
+        if not head:
+            return False
+        return any(
+            head == prefix or head.startswith(prefix + ".")
+            for prefix in _CHA_HOME_PREFIXES
+        )
+
+    def _root_closure(self) -> Dict[str, Set[str]]:
+        """For every class id: which Automaton/Process/FailureDetector
+        contract roots its ancestry reaches, across module boundaries."""
+        root_name: Dict[str, str] = {}
+        for cid in self.classes:
+            module, name = cid.split(":", 1)
+            if name in _CHA_ROOT_NAMES and any(
+                module == prefix or module.startswith(prefix + ".")
+                for prefix in _CHA_HOME_PREFIXES
+            ):
+                root_name[cid] = name
+
+        memo: Dict[str, Set[str]] = {}
+
+        def reaches(cid: str, stack: Set[str]) -> Set[str]:
+            if cid in memo:
+                return memo[cid]
+            if cid in stack:
+                return set()  # inheritance cycle in broken input
+            stack.add(cid)
+            found: Set[str] = set()
+            if cid in root_name:
+                found.add(root_name[cid])
+            for kind, ident in self.classes[cid].get("resolved_bases", []):
+                if kind == "class":
+                    found |= reaches(ident, stack)
+                elif kind == "external" and self._is_root_external(ident):
+                    found.add(ident.rpartition(".")[2])
+            stack.discard(cid)
+            memo[cid] = found
+            return found
+
+        return {cid: reaches(cid, set()) for cid in sorted(self.classes)}
+
+    def mro_lookup(self, cid: str, method: str, _seen: Optional[Set[str]] = None) -> Optional[str]:
+        """The fid implementing ``method`` for class ``cid`` (DFS over bases)."""
+        if _seen is None:
+            _seen = set()
+        if cid in _seen or cid not in self.classes:
+            return None
+        _seen.add(cid)
+        module, name = cid.split(":", 1)
+        fid = f"{module}:{name}.{method}"
+        if fid in self.functions:
+            return fid
+        for kind, ident in self.classes[cid].get("resolved_bases", []):
+            if kind == "class":
+                hit = self.mro_lookup(ident, method, _seen)
+                if hit is not None:
+                    return hit
+        return None
+
+    # ------------------------------------------------------------------
+    # Call graph
+    # ------------------------------------------------------------------
+
+    def _target_for_call(self, fid: str, callee: str) -> Optional[str]:
+        module, qual = fid.split(":", 1)
+        if callee.startswith("self.") or callee.startswith("cls."):
+            if "." not in qual:
+                return None
+            cls_name = qual.split(".", 1)[0]
+            method = callee.split(".", 1)[1]
+            if "." in method:
+                return None  # self.attr.m(): untyped, give up
+            return self.mro_lookup(f"{module}:{cls_name}", method)
+        res = self.resolve(module, callee)
+        if res is None:
+            return None
+        kind, ident = res
+        if kind == "function":
+            return ident
+        if kind == "class":
+            return self.mro_lookup(ident, "__init__")
+        return None
+
+    def _build_call_graph(self) -> None:
+        callers: Dict[str, Set[str]] = {}
+        for fid in sorted(self.functions):
+            edges: List[Tuple[Dict[str, Any], Optional[str]]] = []
+            for call in self.functions[fid].get("calls", []):
+                target = self._target_for_call(fid, call["callee"])
+                edges.append((call, target))
+                if target is not None:
+                    callers.setdefault(target, set()).add(fid)
+            self.call_edges[fid] = edges
+        self.callers = {fid: sorted(srcs) for fid, srcs in callers.items()}
+
+    # ------------------------------------------------------------------
+    # Harness entry points
+    # ------------------------------------------------------------------
+
+    def sweep_entry_points(self) -> Dict[str, Dict[str, Any]]:
+        """Store-keyed / forked worker roots: ``{fid: registration site}``.
+
+        A root is (a) the ``fn`` argument of any ``SweepTask(...)``
+        construction, or (b) an ``exp<N>*`` experiment runner in
+        ``repro.harness.experiments`` (the CLI dispatches to those by name,
+        and each one feeds ``SweepTask``/``run_sweep``).
+        """
+        roots: Dict[str, Dict[str, Any]] = {}
+        for fid in sorted(self.functions):
+            module = fid.split(":", 1)[0]
+            for call, _target in self.call_edges.get(fid, []):
+                res = self.resolve(module, call["callee"])
+                if not is_sweep_task_ctor(res):
+                    continue
+                shapes = list(call.get("args", []))
+                kwargs = call.get("kwargs", {})
+                fn_shape = kwargs.get("fn") or (shapes[0] if shapes else None)
+                if not fn_shape or "name" not in fn_shape:
+                    continue
+                fn_res = self.resolve(module, fn_shape["name"])
+                if fn_res and fn_res[0] == "function":
+                    roots.setdefault(
+                        fn_res[1],
+                        self.hop(
+                            f"{module}:{MODULE_SCOPE}",
+                            call,
+                            note=f"registered as a SweepTask fn in {module}",
+                        ),
+                    )
+        for module in sorted(self.facts):
+            if module != "repro.harness.experiments":
+                continue
+            for qual in sorted(self.facts[module].functions):
+                leaf = qual.rsplit(".", 1)[-1]
+                if leaf.startswith("exp") and len(leaf) > 3 and leaf[3].isdigit():
+                    fn = self.facts[module].functions[qual]
+                    roots.setdefault(
+                        f"{module}:{qual}",
+                        self.hop(
+                            f"{module}:{qual}",
+                            {"line": fn.get("line", 1), "snippet": ""},
+                            note=f"experiment entry point {module}.{qual}",
+                        ),
+                    )
+        return roots
+
+    # ------------------------------------------------------------------
+    # Finding construction
+    # ------------------------------------------------------------------
+
+    def make_finding(
+        self,
+        rule,
+        module: str,
+        site: Dict[str, Any],
+        message: str,
+        evidence: Optional[List[Dict[str, Any]]] = None,
+    ) -> Finding:
+        facts = self.facts[module]
+        return Finding(
+            code=rule.code,
+            path=facts.path,
+            module=module,
+            line=site.get("line", 1),
+            col=site.get("col", 0),
+            message=message,
+            rule_name=rule.name,
+            snippet=site.get("snippet", ""),
+            evidence=list(evidence or []),
+        )
+
+    def hop(self, fid: str, site: Dict[str, Any], note: str = "") -> Dict[str, Any]:
+        """One evidence-chain hop anchored in ``fid``'s file."""
+        module = fid.split(":", 1)[0]
+        facts = self.facts.get(module)
+        return {
+            "path": facts.path if facts else module,
+            "module": module,
+            "function": fid.split(":", 1)[1],
+            "line": site.get("line", 1),
+            "snippet": site.get("snippet", ""),
+            "note": note or site.get("detail", ""),
+        }
+
+
+def build_project(facts: Iterable[FileFacts]) -> Project:
+    """Index facts by module and build the project graph.
+
+    When two files map to the same dotted module (possible with unpacked
+    fixtures), the lexically-first path wins — deterministic, and the
+    engine never feeds duplicates for real trees.
+    """
+    by_module: Dict[str, FileFacts] = {}
+    for record in sorted(facts, key=lambda f: (f.module, f.path)):
+        by_module.setdefault(record.module, record)
+    return Project(by_module)
+
+
+def in_packages(module: str, prefixes: Sequence[str]) -> bool:
+    """Shared scope predicate (same semantics as ``Rule.applies_to``)."""
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )

@@ -73,7 +73,27 @@ class Rule:
         return ctx.make_finding(self, node, message)
 
 
+class ProjectRule:
+    """Base class for whole-program (flow-aware) rules.
+
+    A project rule sees the :class:`~repro.lint.project.graph.Project`
+    built from every linted file at once and yields findings with
+    cross-file evidence chains.  Project rules may *share* a code with a
+    single-file rule (the flow-aware RPR101/102/103/201 companions extend
+    the same contract interprocedurally), so they live in a separate
+    registry; :func:`known_codes` is the union.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Rule] = {}
+_PROJECT_REGISTRY: Dict[str, ProjectRule] = {}
 
 
 def register(rule_cls: Type[Rule]) -> Type[Rule]:
@@ -87,14 +107,40 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
     return rule_cls
 
 
+def register_project(rule_cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    if not _CODE_RE.match(rule_cls.code or ""):
+        raise ValueError(
+            f"project rule {rule_cls.__name__} has invalid code "
+            f"{rule_cls.code!r}"
+        )
+    key = f"{rule_cls.code}/{rule_cls.name}"
+    if key in _PROJECT_REGISTRY:
+        raise ValueError(f"duplicate project rule {key}")
+    _PROJECT_REGISTRY[key] = rule_cls()
+    return rule_cls
+
+
 def _ensure_loaded() -> None:
-    # Importing the rules package runs every @register decorator.
+    # Importing the rules package runs every single-file @register
+    # decorator; the project-rule modules are imported separately because
+    # they depend on repro.lint.project (which imports rule helpers — a
+    # cycle if rules/__init__ pulled them in directly).
     import repro.lint.rules  # noqa: F401  (import for side effect)
+    from repro.lint.rules import (  # noqa: F401
+        flow,
+        parallel_safety,
+        store_soundness,
+    )
 
 
 def all_rules() -> List[Rule]:
     _ensure_loaded()
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def all_project_rules() -> List[ProjectRule]:
+    _ensure_loaded()
+    return [_PROJECT_REGISTRY[key] for key in sorted(_PROJECT_REGISTRY)]
 
 
 def get_rule(code: str) -> Rule:
@@ -103,5 +149,8 @@ def get_rule(code: str) -> Rule:
 
 
 def known_codes() -> List[str]:
+    """Every code either registry can emit (union, sorted)."""
     _ensure_loaded()
-    return sorted(_REGISTRY)
+    codes = set(_REGISTRY)
+    codes.update(rule.code for rule in _PROJECT_REGISTRY.values())
+    return sorted(codes)

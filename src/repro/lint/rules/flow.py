@@ -1,0 +1,375 @@
+"""Flow-aware companions to RPR101/102/103/201.
+
+These re-examine the *same contracts* as the single-file rules, but across
+the project graph: taint entering kernel scope through calls, cross-module
+aliases/bindings of global-RNG functions, evident sets whose iteration
+order is fixed by a callee in another file, and automaton subclasses whose
+ancestry (CHA) or impurity (transitive I/O) crosses module boundaries.
+
+Noise discipline — one finding per defect, never a duplicate of a
+single-file finding:
+
+* every rule here *polices the kernel boundary*: it fires at a call site
+  inside kernel scope whose resolved callee is outside kernel scope (the
+  single-file rules already own everything visible within one file);
+* a flow finding is dropped when the single-file pass already reported
+  the same code at the taint's source site — the flow rules exist for
+  what the old pass provably missed, not to restate it;
+* :data:`EXEMPT_PREFIXES` (the observability layer and the linter itself)
+  neither seed nor propagate taint: ``obs`` is the sanctioned, guarded,
+  delta-merged exception to kernel purity.
+
+Every finding carries an evidence chain of call hops down to the concrete
+source line, so a report in ``kernel/`` stays actionable when the cause
+lives three modules away.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.project.dataflow import (
+    Chain,
+    order_sink_params,
+    propagate_taint,
+)
+from repro.lint.project.graph import Project, in_packages
+from repro.lint.registry import KERNEL_PACKAGES, ProjectRule, register_project
+from repro.lint.rules.determinism import GLOBAL_RANDOM_FNS
+
+#: Modules that never seed nor carry taint: the guarded observability layer
+#: (its effects are delta-merged, not model state) and the linter itself.
+EXEMPT_PREFIXES = ("repro.obs", "repro.lint")
+
+
+def _exempt(module: str) -> bool:
+    return in_packages(module, EXEMPT_PREFIXES)
+
+
+def _kernel(module: str) -> bool:
+    return in_packages(module, KERNEL_PACKAGES)
+
+
+def _single_file_sites(project: Project, code: str) -> Set[Tuple[str, int]]:
+    """(module, line) pairs the single-file pass already reported ``code`` at."""
+    sites: Set[Tuple[str, int]] = set()
+    for module, facts in project.facts.items():
+        for finding in facts.findings:
+            if finding.get("code") == code:
+                sites.add((module, finding["line"]))
+    return sites
+
+
+def _resolved_external(project: Project, fid: str, call: Dict[str, Any]):
+    module = fid.split(":", 1)[0]
+    res = project.resolve(module, call["callee"])
+    if res is not None and res[0] == "external":
+        return res[1]
+    return None
+
+
+def _rng_external(dotted: str) -> Optional[str]:
+    """The global-RNG function name if ``dotted`` resolves into one."""
+    head, _, leaf = dotted.rpartition(".")
+    if head == "random" and leaf in GLOBAL_RANDOM_FNS:
+        return leaf
+    return None
+
+
+def _rng_taint(project: Project) -> Dict[str, Chain]:
+    """RNG taint sources: facts ``rng`` sites plus call sites that *resolve*
+    (through bindings/re-exports) into ``random.<global fn>``."""
+    sources: Dict[str, Chain] = {}
+    for fid in sorted(project.functions):
+        if _exempt(fid.split(":", 1)[0]):
+            continue
+        fn = project.functions[fid]
+        best: Optional[Dict[str, Any]] = None
+        for site in fn.get("rng", []):
+            best = site
+            break
+        if best is None:
+            for call, target in project.call_edges.get(fid, []):
+                if target is not None:
+                    continue
+                dotted = _resolved_external(project, fid, call)
+                leaf = _rng_external(dotted) if dotted else None
+                if leaf:
+                    best = dict(call)
+                    best["detail"] = (
+                        f"{call['callee']}() resolves to the global-RNG "
+                        f"random.{leaf}"
+                    )
+                    break
+        if best is not None:
+            sources[fid] = [project.hop(fid, best)]
+    return propagate_taint(project, sources)
+
+
+def _clock_taint(project: Project) -> Dict[str, Chain]:
+    sources: Dict[str, Chain] = {}
+    for fid in sorted(project.functions):
+        if _exempt(fid.split(":", 1)[0]):
+            continue
+        clock = project.functions[fid].get("clock", [])
+        if clock:
+            sources[fid] = [project.hop(fid, clock[0])]
+    return propagate_taint(project, sources)
+
+
+def _io_taint(project: Project) -> Dict[str, Chain]:
+    sources: Dict[str, Chain] = {}
+    for fid in sorted(project.functions):
+        if _exempt(fid.split(":", 1)[0]):
+            continue
+        io = project.functions[fid].get("io", [])
+        if io:
+            sources[fid] = [project.hop(fid, io[0])]
+    return propagate_taint(project, sources)
+
+
+def _source_site(chain: Chain) -> Tuple[str, int]:
+    last = chain[-1]
+    return (last.get("module", ""), last.get("line", 0))
+
+
+@register_project
+class GlobalRandomFlowRule(ProjectRule):
+    """RPR101 (flow): global-RNG taint reaching kernel scope through calls,
+    and cross-module bindings of ``random.*`` the syntactic pass cannot see."""
+
+    code = "RPR101"
+    name = "global-random-flow"
+    summary = (
+        "kernel-scope call whose callee resolves (through imports, "
+        "re-exports, or value bindings like `pick = random.choice`) to the "
+        "process-global RNG, or transitively draws from it in another "
+        "module; evidence chain points at the concrete draw site"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        taint = _rng_taint(project)
+        flagged = _single_file_sites(project, self.code)
+        for fid in sorted(project.functions):
+            module = fid.split(":", 1)[0]
+            if not _kernel(module):
+                continue
+            for call, target in project.call_edges.get(fid, []):
+                if target is None:
+                    dotted = _resolved_external(project, fid, call)
+                    leaf = _rng_external(dotted) if dotted else None
+                    if leaf and (module, call["line"]) not in flagged:
+                        yield project.make_finding(
+                            self,
+                            module,
+                            call,
+                            f"{call['callee']}() resolves to the global-RNG "
+                            f"random.{leaf} through a cross-module binding; "
+                            f"draw from an explicitly seeded random.Random",
+                            evidence=[
+                                project.hop(
+                                    fid,
+                                    call,
+                                    note=f"resolves to random.{leaf}",
+                                )
+                            ],
+                        )
+                    continue
+                callee_module = target.split(":", 1)[0]
+                if _kernel(callee_module) or target not in taint:
+                    continue
+                chain = taint[target]
+                if _source_site(chain) in flagged:
+                    continue  # the draw itself is already reported
+                yield project.make_finding(
+                    self,
+                    module,
+                    call,
+                    f"{call['callee']}() transitively draws from the process-"
+                    f"global RNG (source: {chain[-1]['module']}:"
+                    f"{chain[-1]['line']}); kernel runs must be pure "
+                    f"functions of (config, schedule, seed)",
+                    evidence=[project.hop(fid, call, note="kernel boundary")]
+                    + chain,
+                )
+
+
+@register_project
+class WallClockFlowRule(ProjectRule):
+    """RPR102 (flow): wall-clock/env taint entering kernel scope via calls."""
+
+    code = "RPR102"
+    name = "wall-clock-flow"
+    summary = (
+        "kernel-scope call into a non-kernel function that transitively "
+        "reads the wall clock, the environment, or process identity; the "
+        "single-file rule only sees reads written inside kernel files"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        taint = _clock_taint(project)
+        flagged = _single_file_sites(project, self.code)
+        for fid in sorted(project.functions):
+            module = fid.split(":", 1)[0]
+            if not _kernel(module):
+                continue
+            for call, target in project.call_edges.get(fid, []):
+                if target is None or target not in taint:
+                    continue
+                callee_module = target.split(":", 1)[0]
+                if _kernel(callee_module):
+                    continue
+                chain = taint[target]
+                if _source_site(chain) in flagged:
+                    continue
+                yield project.make_finding(
+                    self,
+                    module,
+                    call,
+                    f"{call['callee']}() transitively reads ambient state "
+                    f"({chain[-1].get('note') or 'wall clock'}; source: "
+                    f"{chain[-1]['module']}:{chain[-1]['line']}); kernel "
+                    f"time is the logical step counter",
+                    evidence=[project.hop(fid, call, note="kernel boundary")]
+                    + chain,
+                )
+
+
+@register_project
+class UnorderedIterationFlowRule(ProjectRule):
+    """RPR103 (flow): a set's iteration order fixed by a callee elsewhere."""
+
+    code = "RPR103"
+    name = "unordered-iteration-flow"
+    summary = (
+        "kernel-scope call passing an evident set into a parameter whose "
+        "iteration order is observed (for/comprehension/list()/.pop()) in "
+        "the callee — possibly forwarded through further calls; invisible "
+        "to the single-file pass when the sink parameter is unannotated"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        sinks = order_sink_params(project)
+        flagged = _single_file_sites(project, self.code)
+        for fid in sorted(project.functions):
+            module = fid.split(":", 1)[0]
+            if not _kernel(module):
+                continue
+            for call, target in project.call_edges.get(fid, []):
+                if target is None or target not in sinks:
+                    continue
+                if _exempt(target.split(":", 1)[0]):
+                    continue
+                params = list(project.functions[target].get("params", []))
+                target_qual = target.split(":", 1)[1]
+                if "." in target_qual and params and params[0] in ("self", "cls"):
+                    params = params[1:]
+                pairs: List[Tuple[str, Dict[str, Any]]] = []
+                for i, shape in enumerate(call.get("args", [])):
+                    if shape.get("set") and i < len(params):
+                        pairs.append((params[i], shape))
+                for kw, shape in sorted(call.get("kwargs", {}).items()):
+                    if shape.get("set") and kw in params:
+                        pairs.append((kw, shape))
+                for param, _shape in pairs:
+                    chain = sinks[target].get(param)
+                    if chain is None:
+                        continue
+                    if _source_site(chain) in flagged:
+                        continue  # sink already evident in its own file
+                    yield project.make_finding(
+                        self,
+                        module,
+                        call,
+                        f"set passed into {call['callee']}({param}=...) has "
+                        f"its iteration order observed at "
+                        f"{chain[-1]['module']}:{chain[-1]['line']}; sort "
+                        f"before the call or inside the sink",
+                        evidence=[
+                            project.hop(
+                                fid, call, note=f"evident set bound to '{param}'"
+                            )
+                        ]
+                        + chain,
+                    )
+
+
+@register_project
+class AutomatonPurityFlowRule(ProjectRule):
+    """RPR201 (flow): CHA-discovered automaton subclasses and transitive I/O."""
+
+    code = "RPR201"
+    name = "automaton-purity-flow"
+    summary = (
+        "methods of Automaton/Process subclasses found only by cross-module "
+        "class-hierarchy analysis performing I/O or global writes, and "
+        "automaton methods whose callees transitively perform I/O in other "
+        "modules; steps must stay pure functions of (state, observation)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        io_taint = _io_taint(project)
+        flagged = _single_file_sites(project, self.code)
+        automaton_methods: List[Tuple[str, str, str]] = []  # (cid, method, fid)
+        for cid in sorted(project.automaton_classes):
+            module, cls_name = cid.split(":", 1)
+            for method in project.classes[cid].get("methods", []):
+                automaton_methods.append(
+                    (cid, method, f"{module}:{cls_name}.{method}")
+                )
+
+        for cid, method, fid in automaton_methods:
+            module, cls_name = cid.split(":", 1)
+            fn = project.functions.get(fid)
+            if fn is None:
+                continue
+            in_file = cls_name in project.facts[module].infile_automata
+            # (a) direct impurity in subclasses only CHA can see: the
+            # single-file rule never ran on these classes at all.
+            if not in_file:
+                for site in fn.get("io", []):
+                    if (module, site["line"]) in flagged:
+                        continue
+                    yield project.make_finding(
+                        self,
+                        module,
+                        site,
+                        f"{cls_name}.{method} {site.get('detail') or 'performs I/O'}; "
+                        f"{cls_name} is an automaton by cross-module "
+                        f"ancestry — steps must not perform I/O",
+                        evidence=[project.hop(fid, site)],
+                    )
+                for site in fn.get("gwrites", []):
+                    if (module, site["line"]) in flagged:
+                        continue
+                    yield project.make_finding(
+                        self,
+                        module,
+                        site,
+                        f"{cls_name}.{method} mutates module-level "
+                        f"'{site.get('name', '?')}'; {cls_name} is an "
+                        f"automaton by cross-module ancestry — state must "
+                        f"live in the state object",
+                        evidence=[project.hop(fid, site)],
+                    )
+            # (b) transitive I/O through calls, for every automaton class.
+            for call, target in project.call_edges.get(fid, []):
+                if target is None or target not in io_taint:
+                    continue
+                if target in {m[2] for m in automaton_methods}:
+                    continue  # callee method gets its own direct finding
+                chain = io_taint[target]
+                if _source_site(chain) in flagged:
+                    continue
+                yield project.make_finding(
+                    self,
+                    module,
+                    call,
+                    f"{cls_name}.{method} calls {call['callee']}() which "
+                    f"transitively performs I/O (source: "
+                    f"{chain[-1]['module']}:{chain[-1]['line']}); automaton "
+                    f"steps must not perform I/O",
+                    evidence=[project.hop(fid, call, note="automaton method")]
+                    + chain,
+                )

@@ -1,0 +1,16 @@
+"""Lint fixture: an automaton subclass only class-hierarchy analysis sees.
+
+``LoggingLeaf`` extends ``MiddleMachine`` from another module; nothing in
+this file names ``Automaton``, so the single-file RPR201 pass never
+recognizes the class at all.
+"""
+
+from repro.harness.machines import MiddleMachine
+
+
+class LoggingLeaf(MiddleMachine):
+    name = "logging-leaf"
+
+    def transition(self, state, pid, msg, d):
+        print("step", pid)
+        return state

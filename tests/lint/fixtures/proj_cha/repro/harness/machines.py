@@ -1,0 +1,11 @@
+"""Lint fixture: the intermediate layer of a cross-module class hierarchy.
+
+``MiddleMachine`` subclasses ``Automaton`` but adds no methods, so it
+lints clean; its job is to carry the ancestry into another file.
+"""
+
+from repro.kernel.automaton import Automaton
+
+
+class MiddleMachine(Automaton):
+    name = "middle-machine"

@@ -1,0 +1,8 @@
+"""Lint fixture: kernel code pulling the wall clock in via a helper call."""
+
+from repro.harness.timeutil import stamp
+
+
+def mark(state):
+    state["observed_at"] = stamp()
+    return state

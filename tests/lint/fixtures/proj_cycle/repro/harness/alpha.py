@@ -1,0 +1,15 @@
+"""Lint fixture: one half of an import cycle carrying ambient-state taint."""
+
+import os
+
+import repro.harness.beta as beta
+
+
+def ping(depth):
+    if depth <= 0:
+        return 0
+    return beta.pong(depth - 1)
+
+
+def entropy():
+    return os.getpid()

@@ -1,0 +1,9 @@
+"""Lint fixture: the other half of the import cycle."""
+
+import repro.harness.alpha as alpha
+
+
+def pong(depth):
+    if depth <= 0:
+        return alpha.entropy()
+    return alpha.ping(depth - 1)

@@ -1,0 +1,8 @@
+"""Lint fixture: kernel code calling into a cyclic module pair whose
+depths eventually read process identity."""
+
+import repro.harness.beta as beta
+
+
+def advance(k):
+    return beta.pong(k)

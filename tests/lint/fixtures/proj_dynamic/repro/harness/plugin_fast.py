@@ -1,0 +1,5 @@
+"""Lint fixture: the dynamically-loaded plugin the signature cannot see."""
+
+
+def apply(payload):
+    return [item * 2 for item in payload]

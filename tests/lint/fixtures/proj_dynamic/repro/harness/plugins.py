@@ -1,0 +1,21 @@
+"""Lint fixture: a sweep worker that loads its plugin dynamically.
+
+``repro.store.signature`` keys cached rows on the *static* import closure
+of the task function's module.  ``importlib.import_module`` below is
+invisible to that closure, so editing ``plugin_fast.py`` does not move
+this module's signature — the store would serve stale rows.  RPR501
+exists to flag exactly this call site; the paired test in
+``tests/lint/test_store_soundness.py`` demonstrates the stale hit.
+"""
+
+import importlib
+
+from repro.harness.parallel import SweepTask
+
+
+def run_plugin(name, payload):
+    mod = importlib.import_module(f"repro.harness.plugin_{name}")
+    return mod.apply(payload)
+
+
+TASK = SweepTask(name="plugin", fn=run_plugin)

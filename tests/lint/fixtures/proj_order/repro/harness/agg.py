@@ -1,0 +1,13 @@
+"""Lint fixture: an order-sensitive sink parameter in another module.
+
+``items`` is iterated by a for-loop whose visit order shapes the result;
+nothing in this file says callers will pass a set, so the single-file pass
+has nothing to flag in either file alone.
+"""
+
+
+def fold(items):
+    out = []
+    for item in items:
+        out.append(item * 31 + len(out))
+    return out

@@ -1,0 +1,8 @@
+"""Lint fixture: kernel code passing an evident set into a cross-module
+order-observing sink."""
+
+from repro.harness.agg import fold
+
+
+def combine_quorum():
+    return fold({3, 1, 2})

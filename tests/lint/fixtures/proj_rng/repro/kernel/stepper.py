@@ -1,0 +1,8 @@
+"""Lint fixture: kernel code drawing randomness through a re-exported
+binding (``pick = random.choice`` two modules away)."""
+
+from repro.harness.randutil import pick
+
+
+def choose_next(candidates):
+    return pick(candidates)

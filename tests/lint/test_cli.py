@@ -87,8 +87,47 @@ class TestCliOptions:
         target.write_text("x = 1\n")
         assert main(["lint", str(target), "--format", "json"]) == 0
         report = json.loads(capsys.readouterr().out)
-        assert report["schema"] == "repro-lint/1"
+        assert report["schema"] == "repro-lint/2"
         assert report["summary"]["files_checked"] == 1
+
+    def test_sarif_format_is_valid_2_1_0(self, tmp_path, capsys):
+        pkg = tmp_path / "repro" / "kernel"
+        pkg.mkdir(parents=True)
+        target = pkg / "dirty.py"
+        target.write_text("import time\nt = time.time()\n")
+        assert main(["lint", str(target), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == sorted(set(rule_ids))  # unique, sorted
+        assert set(rule_ids) == set(known_codes())
+
+        (result,) = run["results"]
+        assert result["ruleId"] == "RPR102"
+        assert rule_ids[result["ruleIndex"]] == "RPR102"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == 2
+        assert location["region"]["startColumn"] >= 1
+        assert "dirty.py" in location["artifactLocation"]["uri"]
+        assert result["partialFingerprints"]["reproLintFingerprint/v1"]
+
+    def test_sarif_marks_suppressed_findings(self, tmp_path, capsys):
+        pkg = tmp_path / "repro" / "kernel"
+        pkg.mkdir(parents=True)
+        target = pkg / "noqa.py"
+        target.write_text(
+            "import time\nt = time.time()  # repro: noqa RPR102 -- test\n"
+        )
+        assert main(["lint", str(target), "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        (result,) = log["runs"][0]["results"]
+        assert result["suppressions"] == [{"kind": "inSource"}]
 
     def test_output_artifact_written(self, tmp_path, capsys):
         target = tmp_path / "clean.py"
@@ -97,7 +136,7 @@ class TestCliOptions:
         code = main(["lint", str(target), "--output", str(artifact)])
         capsys.readouterr()
         assert code == 0
-        assert json.loads(artifact.read_text())["schema"] == "repro-lint/1"
+        assert json.loads(artifact.read_text())["schema"] == "repro-lint/2"
 
     def test_missing_path_is_usage_error(self, capsys):
         assert main(["lint", "no/such/path"]) == 2

@@ -476,7 +476,7 @@ class TestGuardedInstrumentation:
 
 
 class TestRegistry:
-    def test_all_nine_codes_registered(self):
+    def test_all_nine_single_file_codes_registered(self):
         from repro.lint.registry import all_rules
 
         expected = {
@@ -491,6 +491,20 @@ class TestRegistry:
             "RPR301",
         }
         assert {rule.code for rule in all_rules()} == expected
+
+    def test_known_codes_include_whole_program_families(self):
+        from repro.lint.registry import known_codes
+
+        codes = known_codes()
+        assert codes == sorted(codes)
+        assert len(codes) == 14
+        assert {"RPR401", "RPR402", "RPR403", "RPR501", "RPR502"} <= set(codes)
+
+    def test_flow_companions_share_single_file_codes(self):
+        from repro.lint.registry import all_project_rules
+
+        project_codes = {rule.code for rule in all_project_rules()}
+        assert {"RPR101", "RPR102", "RPR103", "RPR201"} <= project_codes
 
     def test_rules_sorted_by_code(self):
         from repro.lint.registry import all_rules

@@ -1,0 +1,87 @@
+"""RPR5xx: the store-signature soundness hole, demonstrated end to end.
+
+``repro.store.signature`` keys cached results on the *static* import
+closure of the task function's module.  The ``proj_dynamic`` fixture
+loads its plugin with ``importlib.import_module``, which that closure
+cannot see.  This file proves both halves of the contract:
+
+* the **stale hit**: editing the dynamically-loaded plugin does not move
+  the loading module's signature, so a store keyed on it would happily
+  serve rows computed against the old plugin;
+* the **lint guard**: RPR501 flags exactly the dynamic-import call site
+  (with the sweep-registration evidence chain), so the hole is caught at
+  review time instead of as a silently wrong table.
+"""
+
+import os
+import shutil
+
+from repro.lint.engine import run_lint
+from repro.store.signature import ModuleSignatureIndex
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+LOADER = "repro.harness.plugins"
+PLUGIN = "repro.harness.plugin_fast"
+
+
+def deploy(tmp_path):
+    shutil.copytree(
+        os.path.join(FIXTURES, "proj_dynamic"), tmp_path, dirs_exist_ok=True
+    )
+    return str(tmp_path)
+
+
+class TestSignatureBlindSpot:
+    def test_dynamic_import_is_outside_the_static_closure(self, tmp_path):
+        tree = deploy(tmp_path)
+        index = ModuleSignatureIndex({"repro": tree})
+        closure = index.closure(LOADER)
+        assert LOADER in closure
+        assert PLUGIN not in closure  # the hole RPR501 polices
+
+    def test_editing_the_plugin_is_a_stale_hit(self, tmp_path):
+        tree = deploy(tmp_path)
+        index = ModuleSignatureIndex({"repro": tree})
+        before = index.signature(LOADER)
+        assert before is not None
+
+        plugin_path = os.path.join(
+            tree, "repro", "harness", "plugin_fast.py"
+        )
+        with open(plugin_path, "w") as fh:
+            fh.write("def apply(payload):\n    return [i * 3 for i in payload]\n")
+        index.refresh()
+        # The plugin's behaviour changed, the signature did not: any row
+        # keyed on it would be served stale.
+        assert index.signature(LOADER) == before
+
+    def test_editing_a_static_dependency_does_move_it(self, tmp_path):
+        tree = deploy(tmp_path)
+        index = ModuleSignatureIndex({"repro": tree})
+        before = index.signature(LOADER)
+
+        loader_path = os.path.join(tree, "repro", "harness", "plugins.py")
+        with open(loader_path, "a") as fh:
+            fh.write("\n# touched\n")
+        index.refresh()
+        assert index.signature(LOADER) != before
+
+
+class TestRpr501Guard:
+    def test_flags_exactly_the_dynamic_import_site(self, tmp_path):
+        tree = deploy(tmp_path)
+        result = run_lint([tree])
+        dynamic = [f for f in result.findings if f.code == "RPR501"]
+        assert len(dynamic) == 1
+        (finding,) = dynamic
+        assert finding.module == LOADER
+        assert "import_module" in finding.snippet
+        assert finding.evidence  # chain back to the SweepTask registration
+
+    def test_plugin_module_itself_lints_clean(self, tmp_path):
+        tree = deploy(tmp_path)
+        plugin_path = os.path.join(
+            tree, "repro", "harness", "plugin_fast.py"
+        )
+        assert run_lint([plugin_path]).findings == []
