@@ -1,0 +1,147 @@
+"""Service throughput benchmark: batching must earn its complexity.
+
+``python benchmarks/bench_service.py [--output FILE] [--commands N]``
+
+Plays the same seeded burst workload (every command scheduled at tick 1,
+open loop — the regime where batching matters) through the full asyncio
+service at batch sizes 1, 4 and 16, all on the logical clock, and
+records commands per kernel step plus commit-latency percentiles for
+each.  A closed-loop spread workload rides along for latency context.
+
+Everything gated is *logical* — commands per kernel step, latency in
+ticks, applied digests — so the numbers are bit-stable across hosts;
+wall seconds are recorded for curiosity only.  CI regenerates the report
+and gates it with ``check_regression.py --service``: batch 16 must
+commit at least 3x the commands-per-kernel-step of batch 1 on the same
+workload, and every row must commit everything it submitted with digests
+equal across batch sizes (batching may change grouping, never content).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.harness.load import LoadSpec, run_service_load  # noqa: E402
+from repro.service.service import ServiceConfig  # noqa: E402
+
+BENCH_SCHEMA = "repro-bench-service/1"
+BATCH_SIZES = (1, 4, 16)
+
+
+def bench(commands: int = 96, clients: int = 8, seed: int = 42) -> dict:
+    burst = LoadSpec(
+        mode="open",
+        clients=clients,
+        commands=commands,
+        arrival_every=0,  # everything arrives at once: batching's regime
+        seed=seed,
+        deadline_ticks=8000,
+    )
+    rows = []
+    for batch_size in BATCH_SIZES:
+        config = ServiceConfig(
+            n=3,
+            seed=seed,
+            batch_size=batch_size,
+            queue_depth=max(commands, 64),
+            max_inflight=4,
+        )
+        report, _service = run_service_load(config, burst)
+        rows.append(report.to_row())
+
+    by_batch = {row["batch_size"]: row for row in rows}
+    base = by_batch[1]["commands_per_kstep"]
+    top = by_batch[16]["commands_per_kstep"]
+    speedup = round(top / base, 2) if base else None
+
+    closed = LoadSpec(
+        mode="closed",
+        clients=clients,
+        commands=commands,
+        think_ticks=1,
+        seed=seed,
+        deadline_ticks=8000,
+    )
+    closed_report, _ = run_service_load(
+        ServiceConfig(n=3, seed=seed, batch_size=4,
+                      queue_depth=max(commands, 64)),
+        closed,
+    )
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "workload": {
+            "mode": "open-burst",
+            "clients": clients,
+            "commands": commands,
+            "seed": seed,
+        },
+        "batches": rows,
+        "speedup_16_vs_1": speedup,
+        "digests_identical": len({r["applied_digest"] for r in rows}) == 1,
+        "closed_loop": closed_report.to_row(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog="Gate the output with check_regression.py --service.",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_service.json"),
+        metavar="FILE",
+        help="report path (default: repo-root BENCH_service.json)",
+    )
+    parser.add_argument(
+        "--commands", type=int, default=96, metavar="N",
+        help="burst workload size (default 96)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=8, metavar="N",
+        help="sessions in the workload (default 8)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, metavar="N",
+        help="workload and service seed (default 42)",
+    )
+    args = parser.parse_args(argv)
+
+    report = bench(commands=args.commands, clients=args.clients,
+                   seed=args.seed)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    for row in report["batches"]:
+        print(
+            f"batch {row['batch_size']:>2}: "
+            f"{row['committed']}/{row['submitted']} committed, "
+            f"{row['commands_per_kstep']:.4f} cmds/kstep, "
+            f"p50 {row['latency_p50_ticks']} / "
+            f"p99 {row['latency_p99_ticks']} ticks, "
+            f"{row['wall_seconds']}s wall"
+        )
+    print(
+        f"speedup batch16/batch1: {report['speedup_16_vs_1']}x, digests "
+        f"{'identical' if report['digests_identical'] else 'DIVERGED'}"
+    )
+    closed = report["closed_loop"]
+    print(
+        f"closed loop (batch 4): {closed['committed']} committed, "
+        f"p50 {closed['latency_p50_ticks']} / "
+        f"p99 {closed['latency_p99_ticks']} ticks"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,8 +2,8 @@
 """Runtime determinism smoke check: run an experiment twice, diff digests.
 
 Usage: PYTHONPATH=src python benchmarks/check_determinism.py
-           [--exp NAME | --chaos] [--quick/--full] [--jobs N] [--verbose]
-           [--store]
+           [--exp NAME | --chaos | --service] [--quick/--full] [--jobs N]
+           [--verbose] [--store]
 
 The static pass (``python -m repro lint``) proves the *patterns* that break
 determinism are absent; this script is its dynamic counterpart.  It executes
@@ -101,6 +101,74 @@ def run_once(exp: str, quick: bool, jobs: int, store=None) -> dict:
 CHAOS_QUICK_NAMES = ("omega-crashed", "split-quorums", "register-split")
 CHAOS_QUICK_BUDGET = 60_000
 
+#: The --service parameterization: burst workload at several batch sizes.
+SERVICE_QUICK = dict(clients=5, commands=40, seed=17)
+SERVICE_FULL = dict(clients=8, commands=96, seed=17)
+SERVICE_BATCH_SIZES = (1, 4, 16)
+
+
+def run_service_once(quick: bool) -> dict:
+    """One service pass: the seeded burst workload at every batch size.
+
+    The whole asyncio service runs on the logical clock, so the applied
+    command sequence and the counter registry are functions of (spec,
+    config) alone.  The rendered table carries one row per batch size
+    *plus* the cross-batch digest set — so a single diff proves both
+    double-run identity and that batching never changes what is applied.
+    """
+    from repro import obs
+    from repro.detectors.base import clear_history_cache
+    from repro.harness.load import LoadSpec, run_service_load
+    from repro.service.service import ServiceConfig
+
+    params = SERVICE_QUICK if quick else SERVICE_FULL
+    spec = LoadSpec(mode="open", arrival_every=0, deadline_ticks=8000,
+                    **params)
+
+    clear_history_cache()
+    obs.enable(label="determinism:service", fresh_metrics=True)
+    try:
+        lines = []
+        digests = set()
+        for batch_size in SERVICE_BATCH_SIZES:
+            config = ServiceConfig(
+                n=3,
+                seed=params["seed"],
+                batch_size=batch_size,
+                queue_depth=max(params["commands"], 64),
+            )
+            report, service = run_service_load(config, spec)
+            digests.add(report.applied_digest)
+            lines.append(
+                f"batch={batch_size} committed={report.committed} "
+                f"shed={report.shed} timed_out={report.timed_out} "
+                f"kernel_steps={report.kernel_steps} "
+                f"applied={report.applied_digest} "
+                f"p50={report.latency_percentile(0.5)} "
+                f"p99={report.latency_percentile(0.99)} "
+                f"invariants_ok={service.invariants.ok}"
+            )
+        lines.append(f"cross_batch_digests={sorted(digests)}")
+        if len(digests) != 1:
+            lines.append("CROSS-BATCH DIVERGENCE")
+    finally:
+        obs.disable()
+    rendered = "\n".join(lines)
+    # Timers hold wall durations — logical identity lives in counters
+    # and gauges only.
+    snapshot = {
+        k: v
+        for k, v in obs.metrics().snapshot().items()
+        if k != "timers"
+    }
+    counters = _canonical_counters(snapshot)
+    return {
+        "table": _digest(rendered),
+        "counters": _digest(counters),
+        "rendered": rendered,
+        "counters_text": counters,
+    }
+
 
 def run_chaos_once(quick: bool, jobs: int) -> dict:
     """One chaos-matrix run; returns digests of verdicts and counters."""
@@ -187,6 +255,13 @@ def main(argv=None) -> int:
         "(quick: three rows, capped budget; full: the whole matrix)",
     )
     parser.add_argument(
+        "--service",
+        action="store_true",
+        help="diff the asyncio consensus service instead: the seeded "
+        "burst workload at batch sizes 1/4/16 on the logical clock, "
+        "twice — also proves the applied digest is batch-size-invariant",
+    )
+    parser.add_argument(
         "--store",
         action="store_true",
         help="route both compared runs through a prepopulated throwaway "
@@ -195,13 +270,21 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.store and args.chaos:
-        print("error: --store applies to experiment sweeps, not --chaos",
+    if args.store and (args.chaos or args.service):
+        print("error: --store applies to experiment sweeps only",
               file=sys.stderr)
+        return 2
+    if args.chaos and args.service:
+        print("error: pick one of --chaos / --service", file=sys.stderr)
         return 2
 
     quick = not args.full
-    label = "chaos matrix" if args.chaos else args.exp
+    if args.service:
+        label = "consensus service"
+    elif args.chaos:
+        label = "chaos matrix"
+    else:
+        label = args.exp
     store = None
     store_ctx = None
     if args.store:
@@ -215,11 +298,14 @@ def main(argv=None) -> int:
               flush=True)
         run_once(args.exp, quick, 1, store=store)
         store.stats.reset()
-    once = (
-        (lambda jobs: run_chaos_once(quick, jobs))
-        if args.chaos
-        else (lambda jobs: run_once(args.exp, quick, jobs, store=store))
-    )
+    if args.service:
+        once = lambda jobs: run_service_once(quick)  # noqa: E731
+    elif args.chaos:
+        once = lambda jobs: run_chaos_once(quick, jobs)  # noqa: E731
+    else:
+        once = (  # noqa: E731
+            lambda jobs: run_once(args.exp, quick, jobs, store=store)
+        )
     print(
         f"run 1/2: {label} ({'quick' if quick else 'full'}, serial) ...",
         flush=True,

@@ -34,6 +34,12 @@ hardware.  Record shelf baselines with ``bench_report.py
 --record-baseline``; when the shelf has no entry for this environment the
 check falls back to ``--baseline`` with a notice.
 
+``--service BENCH_service.json`` gates the consensus-service bench
+instead: cross-batch applied digests must agree, every row must commit
+everything it submitted, and batch-16 commands-per-kernel-step must be at
+least ``--service-speedup`` (default 3) times batch-1 on the same seeded
+burst workload — all logical numbers, bit-stable across hosts.
+
 ``--chaos`` switches to the *semantic* regression gate instead: it runs the
 quick chaos injection-matrix rows (see ``repro.chaos.matrix``) and fails if
 any row stops being exact — an injector no longer finds its declared
@@ -93,6 +99,87 @@ def check_chaos(seed: int, jobs: int) -> int:
         )
         return 1
     print("chaos matrix exact: every row matches its declared expectations")
+    return 0
+
+
+def check_service(report_path: str, min_speedup: float,
+                  baseline_path: str, threshold: float) -> int:
+    """Gate ``BENCH_service.json``: batching must pay and nothing may drop.
+
+    All gated numbers are logical (commands per kernel step, commit
+    counts, applied digests), so they are bit-stable across hosts: the
+    3x batching gate is absolute, and the per-row throughput comparison
+    against the committed baseline catches code-driven regressions, not
+    hardware noise.
+    """
+    with open(report_path) as fh:
+        report = json.load(fh)
+    failures = []
+    for row in report["batches"]:
+        complete = (
+            row["committed"] == row["submitted"]
+            and row["timed_out"] == 0
+            and row["shed"] == 0
+        )
+        status = "ok" if complete else "FAIL"
+        print(
+            f"service[batch {row['batch_size']}]: "
+            f"{row['committed']}/{row['submitted']} committed, "
+            f"{row['shed']} shed, {row['timed_out']} timed out, "
+            f"{row['commands_per_kstep']} cmds/kstep [{status}]"
+        )
+        if not complete:
+            failures.append(f"batch{row['batch_size']}-incomplete")
+    identical = bool(report.get("digests_identical"))
+    status = "ok" if identical else "FAIL"
+    print(
+        f"service[digests]: applied sequences "
+        f"{'identical' if identical else 'DIVERGED'} across batch sizes "
+        f"[{status}]"
+    )
+    if not identical:
+        failures.append("cross-batch-digest")
+    speedup = report.get("speedup_16_vs_1") or 0.0
+    status = "FAIL" if speedup < min_speedup else "ok"
+    print(
+        f"service[batching]: {speedup}x commands/kstep at batch 16 vs 1, "
+        f"required {min_speedup}x [{status}]"
+    )
+    if speedup < min_speedup:
+        failures.append("batching-speedup")
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+    except OSError:
+        baseline = None
+        print(f"service[baseline]: no committed report at {baseline_path}")
+    if baseline is not None and os.path.abspath(
+        baseline_path
+    ) != os.path.abspath(report_path):
+        base_rows = {r["batch_size"]: r for r in baseline.get("batches", [])}
+        for row in report["batches"]:
+            base = base_rows.get(row["batch_size"])
+            if not base:
+                continue
+            base_tp = base["commands_per_kstep"]
+            drop = (
+                100.0 * (base_tp - row["commands_per_kstep"]) / base_tp
+                if base_tp
+                else 0.0
+            )
+            status = "FAIL" if drop > threshold else "ok"
+            print(
+                f"service[batch {row['batch_size']}]: baseline "
+                f"{base_tp} cmds/kstep, new {row['commands_per_kstep']} "
+                f"({drop:+.1f}% drop) [{status}]"
+            )
+            if drop > threshold:
+                failures.append(f"batch{row['batch_size']}-throughput")
+    if failures:
+        print("service bench regressed in: " + ", ".join(failures),
+              file=sys.stderr)
+        return 1
+    print("service bench healthy: batching pays, digests agree, no drops")
     return 0
 
 
@@ -183,6 +270,30 @@ def main(argv=None) -> int:
         "(semantic gate; ignores the benchmark report arguments)",
     )
     parser.add_argument(
+        "--service",
+        default=None,
+        metavar="BENCH_SERVICE_JSON",
+        help="gate a bench_service.py report instead: batch-16 throughput "
+        "must be at least --service-speedup times batch-1 on the same "
+        "workload, applied digests must match across batch sizes, and "
+        "per-row commands/kstep must not drop more than --threshold "
+        "percent below the committed BENCH_service.json",
+    )
+    parser.add_argument(
+        "--service-speedup",
+        type=float,
+        default=3.0,
+        metavar="X",
+        help="minimum batch-16-over-batch-1 commands/kstep speedup "
+        "(only with --service, default 3.0)",
+    )
+    parser.add_argument(
+        "--service-baseline",
+        default=os.path.join(REPO_ROOT, "BENCH_service.json"),
+        metavar="FILE",
+        help="committed service baseline (only with --service)",
+    )
+    parser.add_argument(
         "--lint",
         default=None,
         metavar="BENCH_LINT_JSON",
@@ -217,9 +328,17 @@ def main(argv=None) -> int:
         return check_chaos(args.seed, args.jobs)
     if args.lint:
         return check_lint(args.lint, args.lint_speedup)
+    if args.service:
+        return check_service(
+            args.service,
+            args.service_speedup,
+            args.service_baseline,
+            args.threshold,
+        )
     if args.new is None:
         parser.error(
-            "a fresh BENCH_kernel.json is required without --chaos/--lint"
+            "a fresh BENCH_kernel.json is required without "
+            "--chaos/--lint/--service"
         )
 
     baseline = None

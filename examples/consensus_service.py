@@ -1,0 +1,61 @@
+"""Consensus as a service, end to end in one page.
+
+Runs the asyncio service on the deterministic logical clock, submits a
+small closed-loop workload from three client sessions, performs a
+certified read, and shows the nonuniform/uniform split the service
+enforces: the *decided* log (nonuniformly safe) versus the *certified*
+prefix (what clients may see).
+
+Run with:  PYTHONPATH=src python examples/consensus_service.py
+"""
+
+import asyncio
+
+from repro.service import (
+    ConsensusService,
+    ServiceConfig,
+    TickClock,
+    logical_event_loop,
+)
+
+
+async def main(loop) -> None:
+    clock = TickClock(loop)
+    config = ServiceConfig(n=3, seed=42, batch_size=4)
+    service = ConsensusService(config, clock)
+    service.start()
+
+    async def client(name: str, count: int) -> None:
+        for seq in range(count):
+            reply = await service.submit(name, seq, ("set", name, seq))
+            status, slot, index = reply
+            print(f"  {name}#{seq} -> {status} (slot {slot}, index {index})")
+
+    print("submitting 3 sessions x 3 commands (closed loop):")
+    await asyncio.gather(client("alice", 3), client("bob", 3), client("cara", 3))
+
+    view = await service.read()
+    print(f"\ncertified read: {len(view)} commands")
+    for command in view[:4]:
+        print(f"  {command}")
+    print("  ...")
+
+    decided = service.core.decided_log()
+    certified = service.core.certified_length()
+    print(f"\ndecided slots   : {len(decided)} (nonuniformly safe)")
+    print(f"certified slots : {certified} (majority-backed; client-visible)")
+    print(f"batches         : {service.stats['batches']}")
+    print(f"kernel steps    : {service.stats['kernel_steps']}")
+    print(f"session FIFO ok : {service.invariants.ok}")
+    print(f"logical ticks   : {clock.now_ticks()} (no wall-clock sleeps)")
+    await service.stop()
+
+
+if __name__ == "__main__":
+    loop = logical_event_loop()
+    try:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(main(loop))
+    finally:
+        asyncio.set_event_loop(None)
+        loop.close()

@@ -27,6 +27,10 @@ Commands
                    (rule catalog in docs/linting.md)
 ``chaos``          run the fault-injection matrix, fuzz single configs, or
                    replay a shrunk ``repro-counterexample/1`` artifact
+``serve``          run the consensus service against wall clocks with a
+                   newline-JSON TCP front (production mode)
+``load``           play a seeded load spec against an in-process service
+                   on the logical clock; print latency/throughput report
 
 Every command is a thin veneer over the public library API; the CLI exists
 so the reproduction can be poked without writing Python.
@@ -470,6 +474,108 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    """Run the service on wall clocks behind the TCP front."""
+    import asyncio
+
+    from repro.service import ConsensusService, ServiceConfig, TickClock
+    from repro.service.net import serve_tcp
+
+    config = ServiceConfig(
+        n=args.n,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        queue_depth=args.queue_depth,
+        read_mode=args.read_mode,
+        crash_times=_parse_crashes(args.crash),
+    )
+
+    async def main() -> None:
+        loop = asyncio.get_running_loop()
+        service = ConsensusService(config, TickClock(loop))
+        service.start()
+        server = await serve_tcp(service, args.host, args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(
+            f"consensus service on {host}:{port} "
+            f"(n={config.n}, batch={config.batch_size}, "
+            f"reads={config.read_mode})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            server.close()
+            await service.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("\n(service stopped)")
+    return 0
+
+
+def cmd_load(args) -> int:
+    """Seeded load against an in-process service on the logical clock."""
+    from repro.harness.load import LoadSpec, run_service_load
+    from repro.service import ServiceConfig
+
+    config = ServiceConfig(
+        n=args.n,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        queue_depth=args.queue_depth,
+        read_mode=args.read_mode,
+        crash_times=_parse_crashes(args.crash),
+    )
+    spec = LoadSpec(
+        mode=args.mode,
+        clients=args.clients,
+        commands=args.commands,
+        arrival_every=args.arrival_every,
+        think_ticks=args.think_ticks,
+        seed=args.seed,
+    )
+    with _maybe_traced(args, "service:load"):
+        report, service = run_service_load(
+            config, spec, read_every=args.read_every
+        )
+    row = report.to_row()
+    print(
+        f"service load report (n={config.n}, batch={config.batch_size}, "
+        f"mode={spec.mode}, seed={spec.seed})"
+    )
+    for key in (
+        "submitted",
+        "committed",
+        "shed",
+        "timed_out",
+        "batches",
+        "ticks",
+        "kernel_steps",
+        "commands_per_kstep",
+        "latency_p50_ticks",
+        "latency_p99_ticks",
+        "latency_max_ticks",
+        "wall_seconds",
+    ):
+        print(f"  {key:<20}: {row[key]}")
+    print(f"  applied_digest      : {row['applied_digest'][:16]}…")
+    invariants = service.invariants
+    print(
+        "  invariants          : "
+        + ("ok" if invariants.ok else f"FAIL {invariants.violations[:2]}")
+    )
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as fh:
+            json.dump(row, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"(report written to {args.json_out})")
+    return 0 if invariants.ok and report.timed_out == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -847,6 +953,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--trace-out", default=None)
     chaos.set_defaults(func=cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the consensus service (wall clock, newline-JSON TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7707)
+    serve.add_argument("--n", type=int, default=3)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--batch-size", type=int, default=4)
+    serve.add_argument("--queue-depth", type=int, default=64)
+    serve.add_argument(
+        "--read-mode",
+        choices=["majority", "local"],
+        default="majority",
+        help="majority: certified reads only; local: serve a replica's "
+        "decided (uncertified) state — unsafe, demo only",
+    )
+    serve.add_argument(
+        "--crash", action="append", default=[], metavar="PID:TIME"
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    load = sub.add_parser(
+        "load",
+        help="seeded load against an in-process service (logical clock)",
+    )
+    load.add_argument("--n", type=int, default=3)
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--batch-size", type=int, default=4)
+    load.add_argument("--queue-depth", type=int, default=64)
+    load.add_argument(
+        "--read-mode", choices=["majority", "local"], default="majority"
+    )
+    load.add_argument(
+        "--crash", action="append", default=[], metavar="PID:TIME"
+    )
+    load.add_argument(
+        "--mode",
+        choices=["open", "closed"],
+        default="open",
+        help="open: rate-driven arrivals (shed on backpressure); "
+        "closed: commit-driven clients with think time",
+    )
+    load.add_argument("--clients", type=int, default=8)
+    load.add_argument("--commands", type=int, default=64)
+    load.add_argument(
+        "--arrival-every",
+        type=int,
+        default=2,
+        metavar="TICKS",
+        help="open loop: mean ticks between arrivals (0 = burst)",
+    )
+    load.add_argument(
+        "--think-ticks", type=int, default=1, metavar="TICKS",
+        help="closed loop: ticks between a commit and the next send",
+    )
+    load.add_argument(
+        "--read-every", type=int, default=0, metavar="N",
+        help="issue a certified read every N commits (0 = never)",
+    )
+    load.add_argument(
+        "--json-out", default=None, metavar="FILE",
+        help="also write the report row as JSON",
+    )
+    load.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a repro-trace JSONL of the run "
+        "(inspect with 'repro trace flame FILE')",
+    )
+    load.set_defaults(func=cmd_load)
 
     lint = sub.add_parser(
         "lint",

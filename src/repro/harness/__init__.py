@@ -1,5 +1,11 @@
-"""Experiment harness: one-shot runners and the EXP-1..EXP-7 sweeps."""
+"""Experiment harness: one-shot runners, the EXP sweeps, load generation."""
 
+from repro.harness.load import (
+    LoadReport,
+    LoadSpec,
+    build_schedule,
+    run_service_load,
+)
 from repro.harness.runner import (
     BoostRunOutcome,
     ConsensusRunOutcome,
@@ -28,6 +34,10 @@ __all__ = [
     "BoostRunOutcome",
     "ConsensusRunOutcome",
     "ExtractionRunOutcome",
+    "LoadReport",
+    "LoadSpec",
+    "build_schedule",
+    "run_service_load",
     "exp1_nuc_sufficiency",
     "exp2_boosting",
     "exp3_extraction",

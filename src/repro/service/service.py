@@ -1,0 +1,371 @@
+"""The asyncio consensus service: sessions, batching, leases, backpressure.
+
+Pipeline (each stage traced when ``repro.obs`` is enabled)::
+
+    submit -> [intake queue] -> batch -> propose (feed leader)
+           -> kernel steps -> decide -> certify -> apply -> reply
+
+Clients talk to :meth:`ConsensusService.submit` with ``(session, seq,
+op)`` commands; session sequence numbers give exactly-once apply (the
+apply loop skips duplicates) and FIFO order (checked online by
+:class:`repro.smr.properties.ServiceInvariants`).  The *batcher* drains
+the bounded intake queue into ``("batch", "svc", n, cmds)`` log entries —
+one consensus instance certifies a whole batch, which is where the
+batch-16-vs-1 throughput win comes from — and the *pump* advances the
+kernel a bounded burst of steps per tick, applies newly certified slots,
+and resolves client futures.
+
+Backpressure: the intake queue is bounded; ``submit`` awaits space
+(closed-loop clients slow down) while ``try_submit`` raises
+:class:`Backpressure` (open-loop clients shed).  Pipelining is bounded by
+``max_inflight`` undecided batches.
+
+Reads: a reply may only expose *certified* state (see
+:mod:`repro.service.core`).  Reads are served under a *lease* — a
+believed-leader identity cached for ``lease_ticks`` — so steady-state
+reads cost no detector query.  The lease optimizes nothing about safety:
+``read_mode="majority"`` serves the certified prefix regardless of who
+holds the lease; ``read_mode="local"`` (unsafe, for demonstration) serves
+the lease holder's decided-but-possibly-uncertified log.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.service.clock import TickClock
+from repro.service.core import ServiceCore
+from repro.smr.properties import ServiceInvariants, flatten_batches
+
+
+class Backpressure(Exception):
+    """The bounded intake queue is full; the command was shed."""
+
+
+class Unavailable(Exception):
+    """No alive replica can serve (all crashed or no lease obtainable)."""
+
+
+@dataclass
+class ServiceConfig:
+    """Everything that determines a service run (with the seed)."""
+
+    n: int = 3
+    seed: int = 0
+    batch_size: int = 4
+    max_inflight: int = 4
+    queue_depth: int = 64
+    steps_per_tick: int = 256
+    lease_ticks: int = 64
+    read_mode: str = "majority"  # "majority" (safe) | "local" (unsafe demo)
+    crash_times: Dict[int, int] = field(default_factory=dict)
+    detector: Any = None
+
+    def __post_init__(self) -> None:
+        if self.read_mode not in ("majority", "local"):
+            raise ValueError(f"unknown read_mode {self.read_mode!r}")
+        if self.batch_size < 1 or self.max_inflight < 1:
+            raise ValueError("batch_size and max_inflight must be >= 1")
+
+
+class ConsensusService:
+    """One deployment: a core, a batcher task and a pump task.
+
+    Lifecycle::
+
+        service = ConsensusService(config, clock)
+        service.start()          # spawns batcher + pump on the running loop
+        await service.submit(session, seq, op)   # -> ("ok", slot, index)
+        await service.read()                     # -> certified commands
+        await service.stop()
+    """
+
+    def __init__(self, config: ServiceConfig, clock: TickClock):
+        self.config = config
+        self.clock = clock
+        self.core = ServiceCore(
+            config.n,
+            crash_times=config.crash_times,
+            seed=config.seed,
+            detector=config.detector,
+        )
+        self._intake: asyncio.Queue = asyncio.Queue(maxsize=config.queue_depth)
+        self._batch_seq = 0
+        self._inflight: Dict[int, Tuple] = {}  # batch seq -> log entry
+        self._waiters: Dict[Tuple, List[asyncio.Future]] = {}
+        self._applied: Dict[Tuple, Tuple] = {}  # (session, seq) -> reply
+        self._applied_slots = 0
+        self._lease: Optional[Tuple[int, int]] = None  # (holder, expiry tick)
+        self.applied_commands: List[Tuple] = []
+        self.invariants = ServiceInvariants()
+        self.read_log: List[Tuple[int, Tuple]] = []  # audit: (prefix, view)
+        self.stats: Dict[str, int] = {
+            "submitted": 0,
+            "shed": 0,
+            "batches": 0,
+            "committed": 0,
+            "duplicates": 0,
+            "reads": 0,
+            "kernel_steps": 0,
+            "ticks": 0,
+            "refeeds": 0,
+        }
+        self._tasks: List[asyncio.Task] = []
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._tasks = [
+            loop.create_task(self._batcher()),
+            loop.create_task(self._pump()),
+        ]
+
+    async def stop(self) -> None:
+        self._stopping = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks = []
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+
+    async def submit(self, session, seq: int, op) -> Tuple:
+        """Submit and await commit; blocks on a full queue (closed loop)."""
+        key = (session, seq)
+        if key in self._applied:  # exactly-once resubmit fast path
+            self.stats["duplicates"] += 1
+            return self._applied[key]
+        if key in self._waiters:  # already in flight: piggyback, don't re-log
+            self.stats["duplicates"] += 1
+            return await self._register_waiter(key)
+        future = self._register_waiter(key)
+        await self._intake.put((session, seq, op))
+        self._note_submit(session, seq)
+        return await future
+
+    def try_submit(self, session, seq: int, op) -> asyncio.Future:
+        """Non-blocking submit; raises :class:`Backpressure` when full
+        (open loop).  Returns a future resolving at commit."""
+        key = (session, seq)
+        if key in self._applied:
+            self.stats["duplicates"] += 1
+            future = asyncio.get_running_loop().create_future()
+            future.set_result(self._applied[key])
+            return future
+        if key in self._waiters:  # already in flight: piggyback, don't re-log
+            self.stats["duplicates"] += 1
+            return self._register_waiter(key)
+        future = self._register_waiter(key)
+        try:
+            self._intake.put_nowait((session, seq, op))
+        except asyncio.QueueFull:
+            self.stats["shed"] += 1
+            if obs._ENABLED:
+                obs.metrics().inc("service.shed")
+            self._waiters[key].remove(future)
+            if not self._waiters[key]:
+                del self._waiters[key]
+            future.cancel()
+            raise Backpressure(f"intake queue full ({self.config.queue_depth})")
+        self._note_submit(session, seq)
+        return future
+
+    async def read(self) -> Tuple:
+        """The certified command sequence, served under a lease."""
+        self._acquire_lease()
+        self.stats["reads"] += 1
+        if obs._ENABLED:
+            obs.metrics().inc("service.reads")
+        if self.config.read_mode == "majority":
+            prefix, view = self._applied_slots, tuple(self.applied_commands)
+        else:  # "local": the lease holder's decided log, uncertified.
+            holder = self._lease[0] if self._lease else 0
+            log = self.core.replicas[holder].log
+            prefix, view = len(log), tuple(flatten_batches(log))
+        self.read_log.append((prefix, view))
+        return view
+
+    # ------------------------------------------------------------------
+
+    def _register_waiter(self, key: Tuple) -> asyncio.Future:
+        future = asyncio.get_running_loop().create_future()
+        self._waiters.setdefault(key, []).append(future)
+        return future
+
+    def _note_submit(self, session, seq: int) -> None:
+        self.stats["submitted"] += 1
+        if obs._ENABLED:
+            obs.metrics().inc("service.submitted")
+            obs.tracer().event(
+                "service.submit",
+                tick=self.clock.now_ticks(),
+                session=str(session),
+                seq=seq,
+            )
+
+    def _acquire_lease(self) -> None:
+        tick = self.clock.now_ticks()
+        if self._lease is not None:
+            holder, expiry = self._lease
+            if tick < expiry and self.core.pattern.is_alive(
+                holder, self.core.time
+            ):
+                return
+        holder = self.core.leader_hint()
+        if holder is None:
+            raise Unavailable("no alive replica to lease from")
+        self._lease = (holder, tick + self.config.lease_ticks)
+        if obs._ENABLED:
+            obs.metrics().inc("service.leases")
+            obs.tracer().event("service.lease", tick=tick, holder=holder)
+
+    # ------------------------------------------------------------------
+    # Background tasks
+    # ------------------------------------------------------------------
+
+    async def _batcher(self) -> None:
+        while True:
+            first = await self._intake.get()
+            batch = [first]
+            while len(batch) < self.config.batch_size:
+                try:
+                    batch.append(self._intake.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            while len(self._inflight) >= self.config.max_inflight:
+                await self.clock.sleep_ticks(1)  # pipelining bound
+            seq = self._batch_seq
+            self._batch_seq += 1
+            entry = ("batch", "svc", seq, tuple(batch))
+            self._inflight[seq] = entry
+            fed = self.core.feed_batch(entry)
+            self.stats["batches"] += 1
+            if obs._ENABLED:
+                tick = self.clock.now_ticks()
+                with obs.tracer().span(
+                    "service.batch", tick=tick, seq=seq, size=len(batch)
+                ):
+                    obs.tracer().event(
+                        "service.propose",
+                        tick=tick,
+                        seq=seq,
+                        size=len(batch),
+                        replica=-1 if fed is None else fed,
+                    )
+                obs.metrics().inc("service.batches")
+                obs.metrics().inc("service.batched_commands", len(batch))
+
+    async def _pump(self) -> None:
+        clock = self.clock
+        steps_per_tick = self.config.steps_per_tick
+        while True:
+            tick = clock.now_ticks()
+            self.stats["ticks"] += 1
+            if self._inflight:
+                self.stats["refeeds"] += self.core.refeed_pending(
+                    list(self._inflight.values())
+                )
+            if self.core.has_work():
+                if obs._ENABLED:
+                    with obs.tracer().span(
+                        "service.kernel", tick=tick
+                    ) as span:
+                        taken = self.core.step(steps_per_tick)
+                        span.set(steps=taken)
+                else:
+                    taken = self.core.step(steps_per_tick)
+                self.stats["kernel_steps"] += taken
+                if obs._ENABLED:
+                    obs.metrics().inc("service.kernel_steps", taken)
+            self._apply_certified(tick)
+            await clock.sleep_ticks(1)
+
+    def _apply_certified(self, tick: int) -> None:
+        certified = self.core.certified_length()
+        if certified <= self._applied_slots:
+            return
+        log = self.core.decided_log()
+        if obs._ENABLED:
+            span_cm = obs.tracer().span(
+                "service.apply", tick=tick, from_slot=self._applied_slots
+            )
+        else:
+            span_cm = None
+        applied = 0
+        with span_cm if span_cm is not None else _NULL_CM:
+            while self._applied_slots < certified:
+                slot = self._applied_slots
+                entry = log[slot]
+                self._applied_slots += 1
+                if entry is None or entry[0] != "batch":
+                    continue
+                _, _origin, bseq, commands = entry
+                self._inflight.pop(bseq, None)
+                if obs._ENABLED:
+                    obs.tracer().event(
+                        "service.decide", tick=tick, slot=slot, seq=bseq
+                    )
+                for session, seq, op in commands:
+                    if not self.invariants.observe(session, seq, op, slot=slot):
+                        self.stats["duplicates"] += 1
+                        continue
+                    self.applied_commands.append((session, seq, op))
+                    reply = ("ok", slot, len(self.applied_commands) - 1)
+                    self._applied[(session, seq)] = reply
+                    self.stats["committed"] += 1
+                    applied += 1
+                    for future in self._waiters.pop((session, seq), ()):
+                        if not future.done():
+                            future.set_result(reply)
+                    if obs._ENABLED:
+                        obs.tracer().event(
+                            "service.reply",
+                            tick=tick,
+                            session=str(session),
+                            seq=seq,
+                            slot=slot,
+                        )
+        if applied and obs._ENABLED:
+            obs.metrics().inc("service.committed", applied)
+
+    # ------------------------------------------------------------------
+    # Introspection (harness + bench)
+    # ------------------------------------------------------------------
+
+    @property
+    def certified_slots(self) -> int:
+        return self._applied_slots
+
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def decided_digest_input(self) -> Tuple:
+        """Canonical run summary for byte-identity comparisons."""
+        return (
+            tuple(self.core.decided_log()[: self.core.certified_length()]),
+            tuple(self.applied_commands),
+        )
+
+
+class _NullCM:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CM = _NullCM()

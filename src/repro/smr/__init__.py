@@ -13,12 +13,30 @@ which is harmless to the survivors — the same weakening the paper
 characterizes.
 """
 
-from repro.smr.replicated_log import ReplicatedLogProcess, run_replicated_log
-from repro.smr.properties import SmrReport, check_smr
+from repro.smr.replicated_log import (
+    ReplicatedLogProcess,
+    is_batch,
+    run_replicated_log,
+)
+from repro.smr.properties import (
+    ServiceInvariants,
+    SmrReport,
+    certified_prefix_length,
+    check_certified_reads,
+    check_service_log,
+    check_smr,
+    flatten_batches,
+)
 
 __all__ = [
     "ReplicatedLogProcess",
+    "ServiceInvariants",
     "SmrReport",
+    "certified_prefix_length",
+    "check_certified_reads",
+    "check_service_log",
     "check_smr",
+    "flatten_batches",
+    "is_batch",
     "run_replicated_log",
 ]

@@ -1,14 +1,21 @@
-"""Correctness of replicated-log runs.
+"""Correctness of replicated-log and consensus-service runs.
 
 Among *correct* replicas the log must be one shared sequence (per-slot
 nonuniform agreement lifts to log equality), every logged command must have
 been submitted by someone (validity), and no command may occupy two slots.
+
+The service-level checkers extend this to client-visible semantics: decided
+batches flatten to a duplicate-free command sequence, each session's
+commands apply in strictly increasing ``seq`` order (FIFO), and certified
+prefixes really are backed by a majority of matching replica logs.
+:class:`ServiceInvariants` is the *online* form, wired into the service
+apply loop so every applied command is checked as it happens.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -74,5 +81,166 @@ def check_smr(pattern, processes, submitted: Dict[int, Sequence]) -> SmrReport:
             report.violations.append(
                 f"application: p{p} applied {processes[p].applied} but "
                 f"logged {expected}"
+            )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Service-level (client-visible) invariants
+# ----------------------------------------------------------------------
+
+#: A client command as the service shapes it: (session_id, client_seq, op).
+ClientCommand = Tuple
+
+
+def flatten_batches(decided: Sequence) -> List[ClientCommand]:
+    """Client commands of a decided log, in slot-then-batch order.
+
+    Skips noops and non-batch entries; a ``("batch", origin, seq, cmds)``
+    entry contributes ``cmds`` in order.
+    """
+    flat: List[ClientCommand] = []
+    for entry in decided:
+        if entry is None or entry[0] != "batch":
+            continue
+        flat.extend(entry[3])
+    return flat
+
+
+class ServiceInvariants:
+    """Online checker wired into the service apply loop.
+
+    For each command the loop calls :meth:`observe`, which answers whether
+    the command is *fresh* (should be applied) or a duplicate (must be
+    skipped), and records a violation when a fresh command would apply out
+    of session FIFO order.  Gaps are legal — a command that never commits
+    (client crashed before its batch was proposed) leaves a hole, but the
+    committed subsequence of every session must be strictly increasing.
+    """
+
+    def __init__(self) -> None:
+        self._seen: set = set()  # (session, seq) pairs applied
+        self._last_seq: Dict[object, int] = {}
+        self.violations: List[str] = []
+        self.applied_count = 0
+        self.duplicate_count = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def observe(self, session, seq: int, op, slot: Optional[int] = None) -> bool:
+        """True when (session, seq) is fresh and FIFO-consistent to apply."""
+        key = (session, seq)
+        if key in self._seen:
+            self.duplicate_count += 1
+            return False
+        last = self._last_seq.get(session)
+        if last is not None and seq <= last:
+            where = "" if slot is None else f" (slot {slot})"
+            self.violations.append(
+                f"fifo: session {session!r} applied seq {seq} after "
+                f"{last}{where}"
+            )
+        self._seen.add(key)
+        self._last_seq[session] = max(self._last_seq.get(session, -1), seq)
+        self.applied_count += 1
+        return True
+
+    def report(self) -> SmrReport:
+        return SmrReport(
+            ok=self.ok,
+            violations=list(self.violations),
+            commands_chosen=self.applied_count,
+        )
+
+
+def check_service_log(decided: Sequence) -> SmrReport:
+    """Offline form: batch seq order + client no-dup/FIFO of one log."""
+    report = SmrReport(ok=True, log_length=len(decided))
+    next_seq: Dict[object, int] = {}
+    for i, entry in enumerate(decided):
+        if entry is None or entry[0] != "batch":
+            continue
+        _, origin, seq, _cmds = entry
+        expected = next_seq.get(origin, 0)
+        if seq != expected:
+            report.ok = False
+            report.violations.append(
+                f"batch-order: slot {i} holds {origin!r}#{seq}, "
+                f"expected #{expected}"
+            )
+        next_seq[origin] = max(next_seq.get(origin, 0), seq) + 1
+
+    invariants = ServiceInvariants()
+    for session, seq, op in flatten_batches(decided):
+        if not invariants.observe(session, seq, op):
+            report.ok = False
+            report.violations.append(
+                f"duplication: ({session!r}, {seq}) committed twice"
+            )
+    report.commands_chosen = invariants.applied_count
+    if not invariants.ok:
+        report.ok = False
+        report.violations.extend(invariants.violations)
+    return report
+
+
+def certified_prefix_length(
+    logs: Mapping[int, Sequence], quorum: int
+) -> int:
+    """Longest prefix on which at least ``quorum`` replica logs agree.
+
+    This is the *certification* rule the service reads from: a slot's
+    value is client-exposable only once a majority of replicas hold it —
+    the uniform-safe subset of a nonuniform log (a faulty minority may
+    have applied a divergent value, but never a certified one).
+    """
+    length = 0
+    while True:
+        votes: Dict[object, int] = {}
+        for log in logs.values():
+            if len(log) > length:
+                entry = log[length]
+                votes[entry] = votes.get(entry, 0) + 1
+        if not votes or max(votes.values()) < quorum:
+            return length
+        length += 1
+
+
+def check_certified_reads(
+    read_log: Iterable[Tuple[int, Sequence]],
+    logs: Mapping[int, Sequence],
+    quorum: int,
+) -> SmrReport:
+    """Every served read must be a certified prefix of the final logs.
+
+    ``read_log`` holds ``(prefix_len, applied_commands)`` audit entries
+    recorded by the service at reply time; ``logs`` the final per-replica
+    decided logs.  A read is safe when its prefix is within the final
+    certified length and its commands match the flattened certified log.
+    """
+    report = SmrReport(ok=True)
+    certified = certified_prefix_length(logs, quorum)
+    reference = None
+    for log in logs.values():
+        if len(log) >= certified:
+            reference = list(log[:certified])
+            break
+    certified_flat = flatten_batches(reference or [])
+    for prefix_len, commands in read_log:
+        if prefix_len > certified:
+            report.ok = False
+            report.violations.append(
+                f"read: served prefix {prefix_len} beyond certified "
+                f"{certified}"
+            )
+            continue
+        served = list(commands)
+        if served != certified_flat[: len(served)]:
+            report.ok = False
+            report.violations.append(
+                f"read: served commands diverge from the certified log "
+                f"at prefix {prefix_len}"
             )
     return report

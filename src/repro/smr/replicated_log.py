@@ -11,20 +11,31 @@ among correct replicas, and the notice carries a proposed value, so
 validity is preserved too.
 
 Proposals: each replica proposes its oldest own command not yet in its log
-(or ``("noop", pid)`` when exhausted).  Commands are tagged with their
+(or ``("noop", -1)`` when exhausted).  Commands are tagged with their
 origin, so distinct replicas never contend with equal commands and a chosen
 command is never re-proposed.
 
 Being leader-based, the chosen values track the eventual leader's
-proposals; commands submitted at other replicas need client-to-leader
-forwarding to be *live*, which this minimal layer deliberately omits — its
-claims are the safety ones (`repro.smr.properties`): log agreement among
-correct replicas, validity, no duplication.
+proposals.  Commands submitted at other replicas become live through
+*client-to-leader forwarding*: a replica holding pending commands sends
+each one to its current Omega leader hint in a ``FWD`` message (once per
+``(command, leader)`` pair, so leader changes trigger re-forwarding and a
+stable leadership costs one message per command).  The leader pools
+forwarded commands and proposes them once its own are exhausted, so a
+laggard no longer pads the log with noop proposals while its commands
+starve — the liveness gap the pre-forwarding layer documented.
+
+The log also serves as the consensus core of :mod:`repro.service`: slots
+may be unbounded (``slots=None``), commands can be fed in while the system
+runs (:meth:`ReplicatedLogProcess.feed`), and *batch* commands —
+``("batch", origin, seq, (cmd, ...))`` — are proposed strictly in ``seq``
+order per origin, which pins the applied command order regardless of how
+many replicas race to propose the same batches.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
 from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.core.nuc import AnucProcess
@@ -38,18 +49,73 @@ from repro.kernel.automaton import (
 
 SLOT = "S"  # (S, slot, inner_payload): one consensus instance's traffic
 DECIDED = "DEC"  # (DEC, slot, value): decider's short-circuit notice
+FWD = "FWD"  # (FWD, command): client-to-leader command forwarding
+
+BATCH = "batch"  # ("batch", origin, seq, (command, ...)): a service batch
 
 Command = Tuple  # e.g. ("append", pid, k) or ("noop", pid)
 
+NOOP: Command = ("noop", -1)
+
+
+def is_batch(command: Any) -> bool:
+    """Whether ``command`` is a service batch (proposed in seq order)."""
+    return (
+        isinstance(command, tuple)
+        and len(command) == 4
+        and command[0] == BATCH
+    )
+
 
 class ReplicatedLogProcess(Process):
-    """One replica: sequential A_nuc instances building a shared log."""
+    """One replica: sequential A_nuc instances building a shared log.
 
-    def __init__(self, commands: Sequence[Command], slots: int):
+    ``slots=None`` runs an unbounded log (the long-running service mode);
+    a finite ``slots`` reproduces the bounded layer, ending in a serve
+    loop that answers laggards' slot traffic with ``DECIDED`` notices.
+
+    ``forward`` enables client-to-leader forwarding (default on).  With it
+    off the layer degrades to the historical behaviour: commands pending
+    at a non-leader replica are never chosen and the leader pads slots
+    with noops — kept only as the regression baseline.
+    """
+
+    def __init__(
+        self,
+        commands: Sequence[Command],
+        slots: Optional[int],
+        forward: bool = True,
+    ):
         self.commands = list(commands)
         self.slots = slots
+        self.forward = forward
         self.log: List[Optional[Command]] = []
         self.applied: List[Command] = []  # the state machine history
+        self._foreign_batches: List[Command] = []
+        self._foreign_plain: List[Command] = []
+        self._forwarded: set = set()  # (command, leader) pairs already sent
+
+    # -- dynamic command intake (the service feeds a running replica) ----
+
+    def feed(self, command: Command) -> bool:
+        """Queue ``command`` for proposal; ``False`` if already known."""
+        if (
+            command in self.commands
+            or command in self._foreign_batches
+            or command in self._foreign_plain
+            or command in self.log
+        ):
+            return False
+        self.commands.append(command)
+        return True
+
+    def pending_commands(self) -> List[Command]:
+        """Commands known here but not yet in the local log."""
+        logged = set(self.log)
+        pools = (self.commands, self._foreign_batches, self._foreign_plain)
+        return [c for pool in pools for c in pool if c not in logged]
+
+    # ------------------------------------------------------------------
 
     def program(self, ctx: ProcessContext) -> Generator:
         stashed: Dict[int, List[DeliveredMessage]] = {}
@@ -61,11 +127,17 @@ class ReplicatedLogProcess(Process):
                 _, slot, value = payload
                 decided_notices.setdefault(slot, value)
                 return True
+            if payload[0] == FWD:
+                self._accept_foreign(payload[1])
+                return True
             return False
 
         ctx.add_handler(outer_handler)
 
-        for slot in range(self.slots):
+        slot_range = (
+            itertools.count() if self.slots is None else range(self.slots)
+        )
+        for slot in slot_range:
             proposal = self._next_proposal()
             inner_ctx = ProcessContext(ctx.pid, ctx.n)
             inner = AnucProcess(proposal)
@@ -97,6 +169,7 @@ class ReplicatedLogProcess(Process):
                 if slot in decided_notices:
                     value = decided_notices[slot]
                     break
+                self._maybe_forward(ctx, d)
                 sends = runtime.step(
                     Observation(message=message, detector_value=d, time=obs_time)
                 )
@@ -109,11 +182,13 @@ class ReplicatedLogProcess(Process):
 
             decided_notices.setdefault(slot, value)
             self.log.append(value)
+            self._purge_chosen(value)
             if value is not None and value[0] != "noop":
                 self.applied.append(value)
 
         while True:  # all slots decided; stay alive, serving DECIDED notices
             obs = yield from ctx.take_step()
+            self._maybe_forward(ctx, obs.detector_value)
             if obs.message is not None and obs.message.payload[0] == SLOT:
                 _, slot, _inner = obs.message.payload
                 if slot in decided_notices:
@@ -125,10 +200,78 @@ class ReplicatedLogProcess(Process):
 
     def _next_proposal(self) -> Command:
         chosen = set(self.log)
+        batch_counts: Dict[Any, int] = {}
+        for entry in self.log:
+            if is_batch(entry):
+                batch_counts[entry[1]] = batch_counts.get(entry[1], 0) + 1
+
+        def eligible(command: Command) -> bool:
+            if command in chosen:
+                return False
+            if is_batch(command):
+                # Batches are proposed strictly in seq order per origin, so
+                # every racing proposer names the same next batch and the
+                # decided log can never reorder a session's commands.
+                return command[2] == batch_counts.get(command[1], 0)
+            return True
+
         for command in self.commands:
-            if command not in chosen:
+            if eligible(command):
                 return command
-        return ("noop", -1)
+        for command in sorted(
+            self._foreign_batches, key=lambda c: (c[1], c[2])
+        ):
+            if eligible(command):
+                return command
+        for command in self._foreign_plain:
+            if eligible(command):
+                return command
+        return NOOP
+
+    def _leader_hint(self, d: Any) -> Optional[int]:
+        """The Omega component of a paired detector value, if recognizable."""
+        if isinstance(d, tuple) and d and isinstance(d[0], int):
+            return d[0]
+        return None
+
+    def _maybe_forward(self, ctx: ProcessContext, d: Any) -> None:
+        """Send pending own commands to the current leader hint (once per
+        ``(command, leader)`` pair; a leader change re-forwards)."""
+        if not self.forward or not self.commands:
+            return
+        leader = self._leader_hint(d)
+        if leader is None or leader == ctx.pid:
+            return
+        logged = set(self.log)
+        for command in self.commands:
+            if command in logged:
+                continue
+            key = (command, leader)
+            if key in self._forwarded:
+                continue
+            ctx.send(leader, (FWD, command))
+            self._forwarded.add(key)
+
+    def _accept_foreign(self, command: Command) -> None:
+        if (
+            command in self.commands
+            or command in self._foreign_batches
+            or command in self._foreign_plain
+            or command in self.log
+        ):
+            return
+        if is_batch(command):
+            self._foreign_batches.append(command)
+        else:
+            self._foreign_plain.append(command)
+
+    def _purge_chosen(self, value: Optional[Command]) -> None:
+        """Drop a freshly decided command from the pending pools."""
+        if value is None:
+            return
+        for pool in (self.commands, self._foreign_batches, self._foreign_plain):
+            if value in pool:
+                pool.remove(value)
 
     def _route(
         self,
@@ -159,6 +302,7 @@ def run_replicated_log(
     seed: int = 0,
     max_steps: int = 120000,
     detector=None,
+    forward: bool = True,
 ):
     """Run a full replicated-log system; returns (result, processes)."""
     import random as _random
@@ -170,7 +314,9 @@ def run_replicated_log(
         detector = PairedDetector(Omega(), SigmaNuPlus())
     history = detector.sample_history(pattern, _random.Random(seed + 777))
     processes = {
-        p: ReplicatedLogProcess(commands_per_process.get(p, ()), slots)
+        p: ReplicatedLogProcess(
+            commands_per_process.get(p, ()), slots, forward=forward
+        )
         for p in range(pattern.n)
     }
     system = System(processes, pattern, history, seed=seed)

@@ -1,0 +1,125 @@
+"""The deterministic event loop: logical time, no real sleeping."""
+
+import asyncio
+
+import pytest
+
+from repro.service.clock import TICK_SECONDS, TickClock, logical_event_loop
+
+from tests.service.conftest import run_logical
+
+
+class TestLogicalTimeLoop:
+    def test_time_starts_at_zero_and_advances_by_sleeps(self):
+        async def main(loop):
+            start = loop.time()
+            await asyncio.sleep(0.5)
+            await asyncio.sleep(0.25)
+            return start, loop.time()
+
+        start, end = run_logical(main)
+        assert start == 0.0
+        assert end == pytest.approx(0.75)
+
+    def test_sleeps_cost_no_wall_time(self):
+        import time
+
+        async def main(loop):
+            await asyncio.sleep(3600.0)  # one logical hour
+            return loop.time()
+
+        wall_start = time.monotonic()
+        logical = run_logical(main)
+        wall = time.monotonic() - wall_start
+        assert logical == pytest.approx(3600.0)
+        assert wall < 5.0  # would fail by 3595s if the sleep were real
+
+    def test_timer_interleaving_is_deterministic(self):
+        def scenario():
+            async def main(loop):
+                fired = []
+
+                async def ticker(name, period, count):
+                    for i in range(count):
+                        await asyncio.sleep(period)
+                        fired.append((name, i, round(loop.time(), 6)))
+
+                await asyncio.gather(
+                    ticker("a", 0.003, 5),
+                    ticker("b", 0.005, 3),
+                    ticker("c", 0.001, 7),
+                )
+                return fired
+
+            return run_logical(main)
+
+        assert scenario() == scenario()
+
+    def test_wait_for_timeouts_fire_logically(self):
+        async def main(loop):
+            forever = loop.create_future()
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(forever, timeout=2.0)
+            return loop.time()
+
+        assert run_logical(main) == pytest.approx(2.0)
+
+    def test_deadlock_is_surfaced_not_hung(self):
+        async def main(loop):
+            # A future nobody will ever resolve, and no timers: under
+            # logical time this can never complete.
+            await loop.create_future()
+
+        with pytest.raises(RuntimeError, match="deadlock"):
+            run_logical(main)
+
+
+class TestTickClock:
+    def test_ticks_quantize_loop_time(self):
+        async def main(loop):
+            clock = TickClock(loop)
+            ticks = [clock.now_ticks()]
+            await clock.sleep_ticks(3)
+            ticks.append(clock.now_ticks())
+            await clock.sleep_ticks(1)
+            ticks.append(clock.now_ticks())
+            return ticks
+
+        assert run_logical(main) == [0, 3, 4]
+
+    def test_many_ticks_accumulate_exactly(self):
+        async def main(loop):
+            clock = TickClock(loop)
+            for _ in range(1000):
+                await clock.sleep_ticks(1)
+            return clock.now_ticks(), loop.time()
+
+        ticks, t = run_logical(main)
+        assert ticks == 1000
+        assert t == pytest.approx(1000 * TICK_SECONDS)
+
+    def test_wall_loop_also_works(self):
+        # TickClock is clock-source agnostic: on a stock loop ticks map to
+        # real time (production mode); just check the arithmetic holds.
+        loop = asyncio.new_event_loop()
+        try:
+            clock = TickClock(loop)
+
+            async def main():
+                before = clock.now_ticks()
+                await clock.sleep_ticks(2)
+                return clock.now_ticks() - before
+
+            elapsed = loop.run_until_complete(main())
+            assert elapsed >= 2
+        finally:
+            loop.close()
+
+    def test_logical_loop_factory_returns_fresh_loops(self):
+        a, b = logical_event_loop(), logical_event_loop()
+        try:
+            assert a is not b
+            assert a.time() == 0.0 and b.time() == 0.0
+        finally:
+            a.close()
+            b.close()

@@ -1,0 +1,165 @@
+"""Chaos cross-checks: lying detectors cannot make the service lie.
+
+Certification counts actual majority log matches, never detector output,
+so an injector can stall the service (liveness) but a read under lease
+must never expose an uncertified — nonuniform-unsafe — value.  The
+``read_mode="local"`` escape hatch exists precisely to show what goes
+wrong without the rule.
+"""
+
+import pytest
+
+from repro.chaos.injectors import CrashedLeaderOmega, SplitQuorums
+from repro.detectors import Omega, PairedDetector, SigmaNuPlus
+from repro.service.clock import TickClock
+from repro.service.service import ConsensusService, ServiceConfig
+from repro.smr.properties import (
+    certified_prefix_length,
+    check_certified_reads,
+)
+
+from tests.service.conftest import run_logical, run_service_scenario
+
+
+def chaos_traffic(commands: int = 12, run_ticks: int = 60, reads_every: int = 5):
+    """Open-loop traffic + periodic reads, bounded by run_ticks."""
+
+    async def scenario(service, clock):
+        from repro.service.service import Backpressure, Unavailable
+
+        sent = 0
+        for tick in range(run_ticks):
+            if sent < commands:
+                try:
+                    service.try_submit(f"c{sent % 3}", sent // 3, ("op", sent))
+                    sent += 1
+                except Backpressure:
+                    pass
+            if tick % reads_every == 0:
+                try:
+                    await service.read()
+                except Unavailable:
+                    pass
+            await clock.sleep_ticks(1)
+        return sent
+
+    return scenario
+
+
+class TestCrashedLeaderOmega:
+    def config(self, read_mode="majority"):
+        return ServiceConfig(
+            n=3,
+            seed=2,
+            batch_size=2,
+            queue_depth=4,
+            crash_times={0: 0},  # the liar's eternal leader, dead at t=0
+            detector=PairedDetector(CrashedLeaderOmega(), SigmaNuPlus()),
+            read_mode=read_mode,
+        )
+
+    def test_stalls_but_never_exposes_uncertified(self):
+        summary = run_service_scenario(self.config(), chaos_traffic())
+        # Nothing can decide under a permanently crashed leader...
+        assert summary["stats"]["committed"] == 0
+        assert summary["certified_log"] == ()
+        # ...and every read honestly served the empty certified prefix.
+        assert summary["read_log"], "reads should still be answered"
+        for prefix, view in summary["read_log"]:
+            assert prefix == 0
+            assert view == ()
+        assert summary["invariant_violations"] == ()
+
+    def test_backpressure_engages_while_stalled(self):
+        # The intake queue is bounded; with nothing draining, the open
+        # loop must shed rather than buffer without bound.
+        summary = run_service_scenario(
+            self.config(), chaos_traffic(commands=12, run_ticks=60)
+        )
+        stats = summary["stats"]
+        assert stats["shed"] > 0
+        assert stats["submitted"] <= self.config().queue_depth + stats["batches"] * 2
+
+    def test_honest_twin_stays_live(self):
+        # Same crash pattern, honest detector: the service commits.
+        config = ServiceConfig(
+            n=3, seed=2, batch_size=2, queue_depth=4, crash_times={0: 0}
+        )
+        summary = run_service_scenario(config, chaos_traffic())
+        assert summary["stats"]["committed"] > 0
+        assert summary["invariant_violations"] == ()
+
+
+class TestSplitQuorums:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reads_stay_certified_under_split(self, seed):
+        config = ServiceConfig(
+            n=4,
+            seed=seed,
+            batch_size=2,
+            detector=PairedDetector(Omega(), SplitQuorums()),
+        )
+        summary = run_service_scenario(config, chaos_traffic())
+        logs = {p: list(log) for p, log in summary["logs"].items()}
+        report = check_certified_reads(
+            summary["read_log"], logs, quorum=3
+        )
+        assert report.ok, report.violations
+        # If the halves diverged anywhere, certification stopped short.
+        lengths = {len(log) for log in logs.values()}
+        for slot in range(min(lengths, default=0)):
+            values = {tuple(log)[slot] for log in logs.values()}
+            if len(values) > 1:
+                certified = certified_prefix_length(logs, 3)
+                assert certified <= slot
+                break
+
+
+class TestCertificationRule:
+    """The mechanism itself, on crafted divergent logs."""
+
+    A = ("batch", "svc", 0, (("alice", 0, "safe"),))
+    B = ("batch", "svc", 0, (("mallory", 0, "divergent"),))
+
+    def test_majority_blocks_divergence(self):
+        logs = {0: [self.A], 1: [self.A], 2: [self.B], 3: [self.B]}
+        assert certified_prefix_length(logs, quorum=3) == 0
+        # With a real 3-of-4 majority the slot certifies.
+        logs[2] = [self.A]
+        assert certified_prefix_length(logs, quorum=3) == 1
+
+    def test_local_mode_exposes_what_majority_blocks(self):
+        def scenario(read_mode):
+            async def main(loop):
+                clock = TickClock(loop)
+                service = ConsensusService(
+                    ServiceConfig(n=4, seed=0, read_mode=read_mode), clock
+                )
+                # Hand the replicas a 2-2 split log (never started: the
+                # state is exactly what we write here).
+                for p in (0, 1):
+                    service.core.replicas[p].log.append(self.A)
+                for p in (2, 3):
+                    service.core.replicas[p].log.append(self.B)
+                view = await service.read()
+                return view, service.read_log
+
+            return run_logical(main)
+
+        safe_view, safe_reads = scenario("majority")
+        assert safe_view == ()  # nothing certified, nothing exposed
+        assert check_certified_reads(
+            safe_reads,
+            {0: [self.A], 1: [self.A], 2: [self.B], 3: [self.B]},
+            quorum=3,
+        ).ok
+
+        unsafe_view, unsafe_reads = scenario("local")
+        assert unsafe_view != ()  # an uncertified value leaked...
+        report = check_certified_reads(
+            unsafe_reads,
+            {0: [self.A], 1: [self.A], 2: [self.B], 3: [self.B]},
+            quorum=3,
+        )
+        assert not report.ok  # ...and the checker catches exactly that.
+        assert any("beyond certified" in v for v in report.violations)

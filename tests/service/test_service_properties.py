@@ -1,0 +1,138 @@
+"""Hypothesis: arbitrary submit/retry/crash interleavings stay safe.
+
+Each example drives the full asyncio service on the logical loop with a
+drawn action script — new submissions, client retries (the "reconnect
+and resubmit" pattern), idle ticks, certified reads — over a drawn
+majority-correct failure pattern.  Whatever the interleaving:
+
+* **log agreement** — replica logs never diverge at any common slot,
+* **no duplication** — each (session, seq) applies at most once,
+* **session FIFO** — a session's commands apply in seq order, and
+* reads never expose anything beyond the certified prefix.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.service import Backpressure, ServiceConfig, Unavailable
+from repro.smr.properties import (
+    check_certified_reads,
+    check_service_log,
+)
+
+from tests.service.conftest import drain, run_service_scenario
+
+
+@st.composite
+def service_worlds(draw):
+    """(config, script): a majority-correct deployment plus an action list."""
+    n = draw(st.integers(3, 5))
+    max_faulty = (n - 1) // 2
+    faulty = draw(
+        st.lists(st.integers(0, n - 1), max_size=max_faulty, unique=True)
+    )
+    crash_times = {p: draw(st.integers(0, 400)) for p in faulty}
+    seed = draw(st.integers(0, 10**6))
+    batch_size = draw(st.sampled_from([1, 2, 4]))
+    config = ServiceConfig(
+        n=n,
+        seed=seed,
+        batch_size=batch_size,
+        queue_depth=8,
+        crash_times=crash_times,
+    )
+    script = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("submit"), st.integers(0, 2)),
+                st.tuples(st.just("retry"), st.integers(0, 2)),
+                st.tuples(st.just("tick"), st.integers(1, 8)),
+                st.tuples(st.just("read"), st.just(0)),
+            ),
+            min_size=4,
+            max_size=20,
+        )
+    )
+    return config, script
+
+
+def run_script(service, clock, script):
+    async def scenario(svc, clk):
+        import asyncio
+
+        next_seq = {}
+        pending = []
+        for action, arg in script:
+            if action == "submit":
+                session = f"s{arg}"
+                seq = next_seq.get(session, 0)
+                try:
+                    pending.append(svc.try_submit(session, seq, ("op", seq)))
+                    next_seq[session] = seq + 1
+                except Backpressure:
+                    pass
+            elif action == "retry":
+                # A client that lost its reply reconnects and resubmits
+                # its last command verbatim.
+                session = f"s{arg}"
+                if next_seq.get(session, 0) > 0:
+                    seq = next_seq[session] - 1
+                    try:
+                        pending.append(
+                            svc.try_submit(session, seq, ("op", seq))
+                        )
+                    except Backpressure:
+                        pass
+            elif action == "tick":
+                await clk.sleep_ticks(arg)
+            elif action == "read":
+                try:
+                    await svc.read()
+                except Unavailable:
+                    pass
+        await drain(svc, clk, deadline_ticks=800)
+        for f in pending:
+            if not f.done():
+                f.cancel()
+        await asyncio.sleep(0)
+        return None
+
+    return scenario
+
+
+@settings(max_examples=10, deadline=None)
+@given(service_worlds())
+def test_interleavings_preserve_service_invariants(world):
+    config, script = world
+    summary = run_service_scenario(
+        config, lambda svc, clk: run_script(svc, clk, script)(svc, clk)
+    )
+
+    # Session FIFO + no-duplication, as observed by the live apply loop.
+    assert summary["invariant_violations"] == ()
+    applied = summary["applied"]
+    assert len(applied) == len(set(applied))
+    per_session = {}
+    for session, seq, _op in applied:
+        assert seq == per_session.get(session, 0), (session, seq, applied)
+        per_session[session] = seq + 1
+
+    # Log agreement: no two replicas ever disagree at a common slot.
+    logs = [log for _p, log in sorted(summary["logs"].items())]
+    for i in range(len(logs)):
+        for j in range(i + 1, len(logs)):
+            common = min(len(logs[i]), len(logs[j]))
+            assert logs[i][:common] == logs[j][:common]
+
+    # The certified log itself is a well-formed service log.
+    report = check_service_log(list(summary["certified_log"]))
+    assert report.ok, report.violations
+
+    # Reads never exposed anything beyond the certified prefix.
+    quorum = config.n // 2 + 1
+    read_report = check_certified_reads(
+        list(summary["read_log"]),
+        {p: list(log) for p, log in summary["logs"].items()},
+        quorum,
+    )
+    assert read_report.ok, read_report.violations

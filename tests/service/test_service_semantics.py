@@ -1,0 +1,244 @@
+"""Client-visible semantics: sessions, dedup, backpressure, leases, TCP."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.clock import TickClock
+from repro.service.service import (
+    Backpressure,
+    ConsensusService,
+    ServiceConfig,
+    Unavailable,
+)
+
+from tests.service.conftest import drain, run_logical
+
+
+class TestSessions:
+    def test_exactly_once_resubmit(self):
+        async def main(loop):
+            service = ConsensusService(ServiceConfig(n=3, seed=4), TickClock(loop))
+            service.start()
+            first = await service.submit("s", 0, ("x",))
+            again = await service.submit("s", 0, ("x",))  # client retry
+            await service.stop()
+            return first, again, service.stats, list(service.applied_commands)
+
+        first, again, stats, applied = run_logical(main)
+        assert first == again
+        assert stats["duplicates"] == 1
+        assert applied.count(("s", 0, ("x",))) == 1
+
+    def test_duplicate_in_flight_is_applied_once(self):
+        # Two concurrent submissions of the same (session, seq) — e.g. a
+        # client retrying before the first commit lands — both resolve,
+        # one apply.
+        async def main(loop):
+            service = ConsensusService(
+                ServiceConfig(n=3, seed=4, batch_size=1), TickClock(loop)
+            )
+            service.start()
+            a = service.try_submit("s", 0, ("x",))
+            b = service.try_submit("s", 0, ("x",))
+            replies = await asyncio.gather(a, b)
+            await service.stop()
+            return replies, list(service.applied_commands)
+
+        replies, applied = run_logical(main)
+        assert replies[0] == replies[1]
+        assert applied == [("s", 0, ("x",))]
+
+    def test_session_fifo_checked_online(self):
+        async def main(loop):
+            service = ConsensusService(ServiceConfig(n=3, seed=6), TickClock(loop))
+            service.start()
+            for seq in range(5):
+                await service.submit("fifo", seq, ("op", seq))
+            await service.stop()
+            return service.invariants.ok, list(service.applied_commands)
+
+        ok, applied = run_logical(main)
+        assert ok
+        assert [c[1] for c in applied] == [0, 1, 2, 3, 4]
+
+
+class TestBackpressure:
+    def test_try_submit_sheds_when_queue_full(self):
+        async def main(loop):
+            # Never started: the intake queue can only fill.
+            service = ConsensusService(
+                ServiceConfig(n=3, seed=0, queue_depth=3), TickClock(loop)
+            )
+            futures = [service.try_submit("s", i, ("x", i)) for i in range(3)]
+            with pytest.raises(Backpressure):
+                service.try_submit("s", 3, ("x", 3))
+            for f in futures:
+                f.cancel()
+            return service.stats
+
+        stats = run_logical(main)
+        assert stats["shed"] == 1
+        assert stats["submitted"] == 3
+
+    def test_blocking_submit_resumes_after_drain(self):
+        async def main(loop):
+            service = ConsensusService(
+                ServiceConfig(n=3, seed=0, queue_depth=2, batch_size=2),
+                TickClock(loop),
+            )
+            service.start()
+            # More submitters than queue depth: the extras block on put()
+            # until the batcher drains, then everything commits.
+            replies = await asyncio.gather(
+                *[service.submit("s", i, ("x", i)) for i in range(8)]
+            )
+            await service.stop()
+            return replies, service.stats
+
+        replies, stats = run_logical(main)
+        assert len(replies) == 8
+        assert stats["committed"] == 8
+        assert stats["shed"] == 0
+
+
+class TestReadsAndLeases:
+    def test_read_serves_certified_prefix(self):
+        async def main(loop):
+            clock = TickClock(loop)
+            service = ConsensusService(ServiceConfig(n=3, seed=8), clock)
+            service.start()
+            empty = await service.read()
+            await service.submit("r", 0, ("v", 1))
+            after = await service.read()
+            await service.stop()
+            return empty, after, service.certified_slots
+
+        empty, after, certified = run_logical(main)
+        assert empty == ()
+        assert after == (("r", 0, ("v", 1)),)
+        assert certified >= 1
+
+    def test_lease_is_cached_between_reads(self):
+        async def main(loop):
+            clock = TickClock(loop)
+            service = ConsensusService(
+                ServiceConfig(n=3, seed=8, lease_ticks=100), clock
+            )
+            service.start()
+            await service.submit("r", 0, ("v", 1))
+            for _ in range(10):
+                await service.read()
+            holder, expiry = service._lease
+            await service.stop()
+            return holder, expiry, service.stats["reads"]
+
+        holder, expiry, reads = run_logical(main)
+        assert reads == 10
+        assert 0 <= holder < 3
+
+    def test_lease_expires_and_renews(self):
+        async def main(loop):
+            clock = TickClock(loop)
+            service = ConsensusService(
+                ServiceConfig(n=3, seed=8, lease_ticks=2), clock
+            )
+            service.start()
+            await service.read()
+            first = service._lease
+            await clock.sleep_ticks(5)
+            await service.read()
+            second = service._lease
+            await service.stop()
+            return first, second
+
+        first, second = run_logical(main)
+        assert second[1] > first[1]  # renewed with a later expiry
+
+    def test_unavailable_when_everyone_crashes(self):
+        async def main(loop):
+            clock = TickClock(loop)
+            service = ConsensusService(
+                ServiceConfig(
+                    n=3, seed=8, crash_times={0: 0, 1: 0, 2: 0}
+                ),
+                clock,
+            )
+            service.start()
+            # One kernel advance so system time passes the crash times.
+            await clock.sleep_ticks(2)
+            try:
+                with pytest.raises(Unavailable):
+                    await service.read()
+            finally:
+                await service.stop()
+            return True
+
+        assert run_logical(main)
+
+
+class TestTcpFront:
+    def test_submit_read_stats_round_trip(self):
+        # Wall loop: the TCP front is production surface; semantics only
+        # (determinism is asserted on the logical-loop paths above).
+        from repro.service.net import serve_tcp
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            service = ConsensusService(
+                ServiceConfig(n=3, seed=12), TickClock(loop)
+            )
+            service.start()
+            server = await serve_tcp(service, host="127.0.0.1", port=0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+            async def rpc(payload):
+                writer.write(json.dumps(payload).encode() + b"\n")
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            submit = await rpc(
+                {"op": "submit", "session": "tcp", "seq": 0, "cmd": "set"}
+            )
+            read = await rpc({"op": "read"})
+            stats = await rpc({"op": "stats"})
+            bad = await rpc({"op": "nope"})
+            writer.close()
+            await writer.wait_closed()
+            server.close()
+            await server.wait_closed()
+            await service.stop()
+            return submit, read, stats, bad
+
+        submit, read, stats, bad = asyncio.run(main())
+        assert submit["ok"] and submit["status"] == "ok"
+        assert read["ok"] and read["commands"] == [["tcp", 0, "set"]]
+        assert stats["ok"] and stats["stats"]["committed"] == 1
+        assert not bad["ok"]
+
+
+class TestConfigValidation:
+    def test_bad_read_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(read_mode="eventual")
+
+    def test_bad_batching_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_inflight=0)
+
+
+def test_drain_helper_reports_quiescence():
+    async def main(loop):
+        clock = TickClock(loop)
+        service = ConsensusService(ServiceConfig(n=3, seed=2), clock)
+        service.start()
+        await service.submit("d", 0, ("x",))
+        drained = await drain(service, clock)
+        await service.stop()
+        return drained
+
+    assert run_logical(main)

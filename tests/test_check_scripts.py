@@ -92,6 +92,51 @@ class TestCheckRegression:
         assert "kernel.run" in proc.stdout
 
 
+class TestCheckRegressionService:
+    def test_help_names_service_options(self):
+        proc = run_script("check_regression.py", "--help")
+        assert proc.returncode == 0
+        for token in ("--service", "--service-speedup", "--service-baseline"):
+            assert token in proc.stdout
+
+    def test_committed_report_passes(self):
+        report = os.path.join(REPO_ROOT, "BENCH_service.json")
+        proc = run_script("check_regression.py", "--service", report)
+        assert proc.returncode == 0
+        assert "service bench healthy" in proc.stdout
+
+    def test_weak_batching_fails(self, tmp_path):
+        with open(os.path.join(REPO_ROOT, "BENCH_service.json")) as fh:
+            report = json.load(fh)
+        report["speedup_16_vs_1"] = 1.2
+        weak = tmp_path / "weak.json"
+        weak.write_text(json.dumps(report))
+        proc = run_script("check_regression.py", "--service", str(weak))
+        assert proc.returncode == 1
+        assert "batching-speedup" in proc.stderr
+
+    def test_cross_batch_digest_divergence_fails(self, tmp_path):
+        with open(os.path.join(REPO_ROOT, "BENCH_service.json")) as fh:
+            report = json.load(fh)
+        report["digests_identical"] = False
+        bad = tmp_path / "diverged.json"
+        bad.write_text(json.dumps(report))
+        proc = run_script("check_regression.py", "--service", str(bad))
+        assert proc.returncode == 1
+        assert "cross-batch-digest" in proc.stderr
+
+    def test_lost_commands_fail(self, tmp_path):
+        with open(os.path.join(REPO_ROOT, "BENCH_service.json")) as fh:
+            report = json.load(fh)
+        report["batches"][0]["committed"] -= 1
+        report["batches"][0]["timed_out"] += 1
+        lossy = tmp_path / "lossy.json"
+        lossy.write_text(json.dumps(report))
+        proc = run_script("check_regression.py", "--service", str(lossy))
+        assert proc.returncode == 1
+        assert "incomplete" in proc.stderr
+
+
 class TestCheckTraceSchema:
     def test_help(self):
         proc = run_script("check_trace_schema.py", "--help")
@@ -126,3 +171,14 @@ class TestCheckDeterminism:
         proc = run_script("check_determinism.py", "--exp", "exp99")
         assert proc.returncode == 2
         assert "usage" in proc.stderr
+
+    def test_help_names_service_mode(self):
+        proc = run_script("check_determinism.py", "--help")
+        assert proc.returncode == 0
+        assert "--service" in proc.stdout
+
+    def test_service_excludes_chaos_and_store(self):
+        proc = run_script("check_determinism.py", "--service", "--chaos")
+        assert proc.returncode == 2
+        proc = run_script("check_determinism.py", "--service", "--store")
+        assert proc.returncode == 2
