@@ -9,8 +9,9 @@ routing one level above the in-protocol FWD forwarding), and reads back
 two views of progress:
 
 * the *decided* log — the longest local log; nonuniformly safe only, and
-* the *certified* prefix — the longest prefix on which a majority of
-  replica logs agree; the client-exposable (uniform-safe) part.
+* the *certified* log — the per-slot quorum-majority entries of the
+  longest prefix on which a majority of replica logs agree; the
+  client-exposable (uniform-safe) part.
 
 The core is deliberately detector-skeptical: certification counts actual
 log matches, never detector output, so a lying injector (``SplitQuorums``,
@@ -25,7 +26,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.kernel.failures import FailurePattern
 from repro.kernel.system import System
-from repro.smr.properties import certified_prefix_length
+from repro.smr.properties import certified_log, certified_prefix_length
 from repro.smr.replicated_log import Command, ReplicatedLogProcess
 
 
@@ -136,9 +137,26 @@ class ServiceCore:
     # ------------------------------------------------------------------
 
     def decided_log(self) -> List[Optional[Command]]:
-        """The longest local decided log (nonuniform view)."""
+        """The longest local decided log (nonuniform view).
+
+        Introspection only: the longest log may belong to a faulty
+        replica holding a divergent entry, so certified state must be
+        read via :meth:`certified_log`, never sliced out of this one.
+        """
         best = max(self.replicas.values(), key=lambda r: len(r.log))
         return list(best.log)
+
+    def certified_log(self) -> List[Optional[Command]]:
+        """Per-slot quorum-majority entries of the certified prefix.
+
+        The uniform-safe log: each entry is backed by a majority of
+        matching replica logs, so no single faulty replica's divergence
+        can reach it.  This is the only log the service may apply from
+        or expose to clients.
+        """
+        return certified_log(
+            {p: r.log for p, r in self.replicas.items()}, self.quorum
+        )
 
     def certified_length(self) -> int:
         """Slots certified by a majority of matching replica logs."""

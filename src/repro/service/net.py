@@ -27,10 +27,24 @@ async def _handle_request(
 ) -> Dict[str, Any]:
     op = request.get("op")
     if op == "submit":
+        session = request.get("session")
+        seq = request.get("seq")
+        if session is None or seq is None or "cmd" not in request:
+            return {
+                "ok": False,
+                "error": "bad request",
+                "detail": "submit requires session, seq and cmd",
+            }
         try:
-            reply = await service.submit(
-                request["session"], int(request["seq"]), request["cmd"]
-            )
+            seq = int(seq)
+        except (TypeError, ValueError):
+            return {
+                "ok": False,
+                "error": "bad request",
+                "detail": "seq must be an integer",
+            }
+        try:
+            reply = await service.submit(session, seq, request["cmd"])
         except Backpressure as exc:
             return {"ok": False, "error": "backpressure", "detail": str(exc)}
         status, slot, index = reply
@@ -66,7 +80,10 @@ async def _client_connected(
             except ValueError:
                 response = {"ok": False, "error": "bad json"}
             else:
-                response = await _handle_request(service, request)
+                if isinstance(request, dict):
+                    response = await _handle_request(service, request)
+                else:
+                    response = {"ok": False, "error": "bad request"}
             writer.write(json.dumps(response).encode() + b"\n")
             await writer.drain()
     finally:

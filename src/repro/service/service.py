@@ -137,6 +137,13 @@ class ConsensusService:
             except asyncio.CancelledError:
                 pass
         self._tasks = []
+        # Nothing will resolve waiters once the pump is gone; cancel them
+        # so clients blocked in submit() don't hang forever.
+        for futures in self._waiters.values():
+            for future in futures:
+                if not future.done():
+                    future.cancel()
+        self._waiters.clear()
 
     # ------------------------------------------------------------------
     # Client API
@@ -239,14 +246,17 @@ class ConsensusService:
     async def _batcher(self) -> None:
         while True:
             first = await self._intake.get()
+            # Wait for an inflight slot before draining the queue: holding
+            # a full batch outside the queue would free queue slots early
+            # and silently extend intake capacity beyond queue_depth.
+            while len(self._inflight) >= self.config.max_inflight:
+                await self.clock.sleep_ticks(1)  # pipelining bound
             batch = [first]
             while len(batch) < self.config.batch_size:
                 try:
                     batch.append(self._intake.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-            while len(self._inflight) >= self.config.max_inflight:
-                await self.clock.sleep_ticks(1)  # pipelining bound
             seq = self._batch_seq
             self._batch_seq += 1
             entry = ("batch", "svc", seq, tuple(batch))
@@ -294,10 +304,13 @@ class ConsensusService:
             await clock.sleep_ticks(1)
 
     def _apply_certified(self, tick: int) -> None:
-        certified = self.core.certified_length()
+        # Apply from the per-slot quorum-majority log, never from any
+        # single replica: the longest local log may be a faulty replica's
+        # and hold a divergent value inside the certified range.
+        log = self.core.certified_log()
+        certified = len(log)
         if certified <= self._applied_slots:
             return
-        log = self.core.decided_log()
         if obs._ENABLED:
             span_cm = obs.tracer().span(
                 "service.apply", tick=tick, from_slot=self._applied_slots
@@ -355,7 +368,7 @@ class ConsensusService:
     def decided_digest_input(self) -> Tuple:
         """Canonical run summary for byte-identity comparisons."""
         return (
-            tuple(self.core.decided_log()[: self.core.certified_length()]),
+            tuple(self.core.certified_log()),
             tuple(self.applied_commands),
         )
 

@@ -21,6 +21,7 @@ from repro.smr.replicated_log import (
 from repro.smr.properties import (
     ServiceInvariants,
     SmrReport,
+    certified_log,
     certified_prefix_length,
     check_certified_reads,
     check_service_log,
@@ -32,6 +33,7 @@ __all__ = [
     "ReplicatedLogProcess",
     "ServiceInvariants",
     "SmrReport",
+    "certified_log",
     "certified_prefix_length",
     "check_certified_reads",
     "check_service_log",

@@ -186,6 +186,35 @@ def check_service_log(decided: Sequence) -> SmrReport:
     return report
 
 
+def certified_log(logs: Mapping[int, Sequence], quorum: int) -> List:
+    """Per-slot quorum-majority entries of the certified prefix.
+
+    Slot ``i``'s certified entry is the value held at slot ``i`` by at
+    least ``quorum`` replica logs; since quorum is a majority, that value
+    is unique when it exists.  The prefix ends at the first slot with no
+    such value.  Certified state must always be read from this log, never
+    from any single replica — under the nonuniform model a faulty replica
+    may hold a divergent value inside the certified range, and its log
+    (even the longest one) is not a safe reference.
+    """
+    prefix: List = []
+    while True:
+        slot = len(prefix)
+        votes: Dict[object, int] = {}
+        for log in logs.values():
+            if len(log) > slot:
+                entry = log[slot]
+                votes[entry] = votes.get(entry, 0) + 1
+        winner = None
+        for entry, count in votes.items():
+            if count >= quorum:
+                winner = entry
+                break
+        if winner is None:
+            return prefix
+        prefix.append(winner)
+
+
 def certified_prefix_length(
     logs: Mapping[int, Sequence], quorum: int
 ) -> int:
@@ -196,16 +225,7 @@ def certified_prefix_length(
     the uniform-safe subset of a nonuniform log (a faulty minority may
     have applied a divergent value, but never a certified one).
     """
-    length = 0
-    while True:
-        votes: Dict[object, int] = {}
-        for log in logs.values():
-            if len(log) > length:
-                entry = log[length]
-                votes[entry] = votes.get(entry, 0) + 1
-        if not votes or max(votes.values()) < quorum:
-            return length
-        length += 1
+    return len(certified_log(logs, quorum))
 
 
 def check_certified_reads(
@@ -221,13 +241,9 @@ def check_certified_reads(
     certified length and its commands match the flattened certified log.
     """
     report = SmrReport(ok=True)
-    certified = certified_prefix_length(logs, quorum)
-    reference = None
-    for log in logs.values():
-        if len(log) >= certified:
-            reference = list(log[:certified])
-            break
-    certified_flat = flatten_batches(reference or [])
+    reference = certified_log(logs, quorum)
+    certified = len(reference)
+    certified_flat = flatten_batches(reference)
     for prefix_len, commands in read_log:
         if prefix_len > certified:
             report.ok = False

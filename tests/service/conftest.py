@@ -41,9 +41,8 @@ def run_service_scenario(config: ServiceConfig, scenario) -> dict:
             extra = await scenario(service, clock)
         finally:
             await service.stop()
-        certified = service.core.certified_length()
         return {
-            "certified_log": tuple(service.core.decided_log()[:certified]),
+            "certified_log": tuple(service.core.certified_log()),
             "applied": tuple(service.applied_commands),
             "logs": {
                 p: tuple(log) for p, log in sorted(service.core.logs().items())

@@ -14,6 +14,7 @@ from repro.detectors import Omega, PairedDetector, SigmaNuPlus
 from repro.service.clock import TickClock
 from repro.service.service import ConsensusService, ServiceConfig
 from repro.smr.properties import (
+    certified_log,
     certified_prefix_length,
     check_certified_reads,
 )
@@ -127,6 +128,44 @@ class TestCertificationRule:
         # With a real 3-of-4 majority the slot certifies.
         logs[2] = [self.A]
         assert certified_prefix_length(logs, quorum=3) == 1
+
+    # A faulty replica's log can be the *longest* while diverging inside
+    # the certified range; the quorum value, not the longest log, decides.
+    B2 = ("batch", "svc", 1, (("mallory", 1, "more"),))
+
+    def test_certified_log_ignores_divergent_longest_log(self):
+        logs = {0: [self.B, self.B2], 1: [self.A], 2: [self.A]}
+        assert certified_log(logs, quorum=2) == [self.A]
+        assert certified_prefix_length(logs, quorum=2) == 1
+
+    def test_checker_reference_is_quorum_backed(self):
+        # The divergent log iterates first; it must not become the
+        # checker's reference for what a certified read should contain.
+        logs = {0: [self.B], 1: [self.A], 2: [self.A]}
+        good = check_certified_reads(
+            [(1, (("alice", 0, "safe"),))], logs, quorum=2
+        )
+        assert good.ok, good.violations
+        bad = check_certified_reads(
+            [(1, (("mallory", 0, "divergent"),))], logs, quorum=2
+        )
+        assert not bad.ok
+        assert any("diverge" in v for v in bad.violations)
+
+    def test_apply_uses_quorum_value_not_longest_log(self):
+        async def main(loop):
+            clock = TickClock(loop)
+            service = ConsensusService(ServiceConfig(n=3, seed=0), clock)
+            # Faulty replica 0 holds the longest log but diverged at 0.
+            service.core.replicas[0].log.extend([self.B, self.B2])
+            for p in (1, 2):
+                service.core.replicas[p].log.append(self.A)
+            service._apply_certified(tick=0)
+            return list(service.applied_commands), await service.read()
+
+        applied, view = run_logical(main)
+        assert applied == [("alice", 0, "safe")]
+        assert view == (("alice", 0, "safe"),)
 
     def test_local_mode_exposes_what_majority_blocks(self):
         def scenario(read_mode):
